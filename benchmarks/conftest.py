@@ -1,0 +1,58 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper and
+prints paper-vs-measured rows.  Scale: by default the workloads are sized
+to finish in seconds on a laptop; set ``P4P_BENCH_FULL=1`` for the paper's
+full swarm sizes (minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.simulator.fieldtest import FieldTestConfig
+from repro.experiments.fig11_12_fieldtest import FieldTestFigures, run_field_test
+
+
+def full_scale() -> bool:
+    return os.environ.get("P4P_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """(fig6 peers, sweep sizes, field clients, streaming clients)."""
+    if full_scale():
+        return {
+            "fig6_peers": 160,
+            "sweep_sizes": (200, 300, 400, 500, 600, 700, 800),
+            "field_clients": 2000,
+            "streaming_clients": 53,
+            "streaming_duration": 1200.0,
+        }
+    return {
+        "fig6_peers": 120,
+        "sweep_sizes": (100, 200, 300),
+        "field_clients": 1000,
+        "streaming_clients": 40,
+        "streaming_duration": 300.0,
+    }
+
+
+@pytest.fixture(scope="session")
+def field_test_figures(bench_scale) -> FieldTestFigures:
+    """One shared field-test run backing Figs. 11/12 and Tables 2/3."""
+    config = FieldTestConfig(
+        n_clients=bench_scale["field_clients"],
+        days=6,
+        day_seconds=300.0,
+    )
+    return run_field_test(config)
+
+
+def print_rows(title: str, rows) -> None:
+    print()
+    print(f"== {title} ==")
+    for row in rows:
+        print("  " + row)

@@ -1,0 +1,29 @@
+"""Ablation: the staged-selection upper bounds (Sec. 6.2 defaults 70%/80%).
+
+Sweeping Upper-Bound-IntraPID / InterPID trades bottleneck protection
+against swarm robustness; the defaults sit on the flat part of the
+completion curve while keeping bottleneck traffic low.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.ablations import run_ablation_bounds
+
+
+def test_ablation_selection_bounds(benchmark):
+    points = benchmark.pedantic(run_ablation_bounds, rounds=1, iterations=1)
+    rows = [
+        f"intra<={point.upper_intra:.1f} inter<={point.upper_inter:.2f}: "
+        f"completion {point.mean_completion:6.1f}s  "
+        f"bottleneck {point.bottleneck_mbit:8.1f} Mbit"
+        for point in points
+    ]
+    print_rows("Ablation: staged-selection bounds", rows)
+
+    # Stronger localization (higher intra bound) must not inflate the
+    # protected link's traffic.
+    loosest = points[0]
+    tightest = points[-1]
+    assert tightest.bottleneck_mbit <= loosest.bottleneck_mbit * 1.5
+    # All settings complete the swarm in a sane time envelope.
+    assert all(point.mean_completion > 0 for point in points)

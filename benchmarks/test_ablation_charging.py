@@ -1,0 +1,21 @@
+"""Ablation: hybrid vs pure-sliding charging-volume predictor (Sec. 6.1).
+
+The paper found pure sliding windows over/under-predict when consecutive
+charging periods differ; the hybrid window fixes it.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.ablations import run_ablation_charging
+
+
+def test_ablation_charging_predictor(benchmark):
+    result = benchmark.pedantic(run_ablation_charging, rounds=1, iterations=1)
+    rows = [
+        f"hybrid window mean relative error  {result.hybrid_mean_error:.3f}",
+        f"pure sliding window mean rel error {result.sliding_mean_error:.3f}",
+    ]
+    print_rows("Ablation: charging-volume predictor", rows)
+    assert result.hybrid_wins
+    # The naive window is not just worse, it is badly wrong on level shifts.
+    assert result.sliding_mean_error > 2 * result.hybrid_mean_error

@@ -1,0 +1,22 @@
+"""Ablation: fine p-distances vs the coarse rank interface (Sec. 4).
+
+Ranking loses magnitude information ("the second ranked may be as good as
+the first one or much worse"), so applications optimizing against ranks
+pick costlier traffic patterns when evaluated against true distances.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.ablations import run_ablation_granularity
+
+
+def test_ablation_pdistance_granularity(benchmark):
+    result = benchmark.pedantic(run_ablation_granularity, rounds=1, iterations=1)
+    rows = [
+        f"true cost of fine-optimized pattern {result.fine_cost:12.1f}",
+        f"true cost of rank-optimized pattern {result.rank_cost:12.1f}",
+        f"rank penalty {result.rank_penalty_percent:.1f}%",
+    ]
+    print_rows("Ablation: p-distance granularity", rows)
+    assert result.rank_cost >= result.fine_cost - 1e-6
+    assert result.rank_penalty_percent > 5.0

@@ -1,0 +1,87 @@
+"""Ablation: the robustness constraint (eq. 7).
+
+Pure cost minimization concentrates a session's traffic on the cheapest
+PID pairs; the paper's rho lower bounds force a minimum spread "to avoid
+the case that considering ISP objective leads to lower robustness".  The
+ablation kills each PID in turn and measures how much of the session's
+traffic pattern survives, with and without the rho bounds.
+"""
+
+from conftest import print_rows
+
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.core.objectives import BandwidthDistanceProduct
+from repro.core.session import SessionDemand, min_cost_traffic
+from repro.network.library import abilene
+
+
+def _worst_source_survival(pattern, pids) -> float:
+    """Min over (source, failed destination) of the source's surviving
+    outbound traffic fraction -- eq. 7's guarantee is per source PID."""
+    worst = 1.0
+    for src in pids:
+        outbound = {
+            dst: value
+            for (s, dst), value in pattern.flows.items()
+            if s == src and value > 1e-9
+        }
+        total = sum(outbound.values())
+        if total <= 0:
+            continue
+        for dead, value in outbound.items():
+            worst = min(worst, 1.0 - value / total)
+    return worst
+
+
+def test_ablation_robustness_bounds(benchmark):
+    itracker = ITracker(
+        topology=abilene(),
+        config=ITrackerConfig(mode=PriceMode.HOP_COUNT),
+        objective=BandwidthDistanceProduct(),
+    )
+    pids = ["SEAT", "SNVA", "NYCM", "WASH", "CHIN"]
+    view = itracker.get_pdistances(pids=pids)
+    base = SessionDemand(
+        name="greedy",
+        uploads={pid: 100.0 for pid in pids},
+        downloads={pid: 100.0 for pid in pids},
+    )
+    # rho: every source keeps >= 10% of its traffic toward each other PID.
+    rho = {
+        (src, dst): 0.1 for src in pids for dst in pids if src != dst
+    }
+    robust = SessionDemand(
+        name="robust",
+        uploads=dict(base.uploads),
+        downloads=dict(base.downloads),
+        rho=rho,
+    )
+
+    def run_both():
+        greedy_pattern = min_cost_traffic(base, view, beta=0.5)
+        robust_pattern = min_cost_traffic(robust, view, beta=0.5)
+        worst = {}
+        for label, pattern in (("greedy", greedy_pattern), ("robust", robust_pattern)):
+            worst[label] = _worst_source_survival(pattern, pids)
+        costs = {
+            "greedy": greedy_pattern.cost(view),
+            "robust": robust_pattern.cost(view),
+        }
+        return worst, costs
+
+    worst, costs = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        f"worst source's surviving outbound after its top peer-PID fails: "
+        f"greedy {worst['greedy'] * 100:.0f}%  robust {worst['robust'] * 100:.0f}%",
+        f"network cost paid for the spread: greedy {costs['greedy']:.0f}  "
+        f"robust {costs['robust']:.0f} "
+        f"(+{(costs['robust'] / max(costs['greedy'], 1e-9) - 1) * 100:.0f}%)",
+    ]
+    print_rows("Ablation: robustness lower bounds (eq. 7)", rows)
+
+    # Greedy lets some source send everything to one PID (total loss on
+    # that PID's failure); the rho bounds forbid that.
+    assert worst["greedy"] <= 0.05
+    assert worst["robust"] >= 0.25
+    # Robustness is not free: the spread pattern costs at least as much.
+    assert costs["robust"] >= costs["greedy"] - 1e-6

@@ -1,0 +1,75 @@
+"""Extension: capability-advertised caches accelerating a swarm.
+
+"Evaluating the effects of caching" is future work in the paper (Sec. 10);
+the capability interface of Sec. 3 is how an appTracker would find the
+caches.  This benchmark runs the same swarm with and without the caches a
+provider advertises and reports the completion-time gain.
+"""
+
+import random
+
+from conftest import print_rows
+
+from repro.apptracker.caches import deploy_caches
+from repro.apptracker.selection import PeerInfo, RandomSelection
+from repro.core.capability import Capability, CapabilityKind
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+from repro.simulator.swarm import SwarmConfig, SwarmSimulation
+from repro.workloads.placement import place_peers
+
+
+def test_ext_capability_caches(benchmark):
+    topo = abilene()
+    routing = RoutingTable.build(topo)
+    itracker = ITracker(
+        topology=topo, config=ITrackerConfig(mode=PriceMode.HOP_COUNT)
+    )
+    itracker.capabilities.add(
+        Capability(CapabilityKind.CACHE, pid="NYCM", capacity_mbps=100.0)
+    )
+    itracker.capabilities.add(
+        Capability(CapabilityKind.CACHE, pid="LOSA", capacity_mbps=100.0)
+    )
+
+    peers = place_peers(topo, 60, random.Random(8), first_id=1)
+    origin = PeerInfo(peer_id=0, pid="CHIN", as_number=topo.node("CHIN").as_number)
+    config = SwarmConfig(
+        file_mbit=64.0, block_mbit=2.0, neighbors=10, join_window=30.0,
+        access_up_mbps=2.0, access_down_mbps=10.0, seed_up_mbps=4.0,
+        completion_quantum=0.05, rng_seed=12,
+    )
+
+    def run_both():
+        plain = SwarmSimulation(
+            topo, routing, config, RandomSelection(), peers, [origin]
+        ).run(until=100_000.0)
+        deployment = deploy_caches(itracker, "apptracker", first_peer_id=1000)
+        cached = SwarmSimulation(
+            topo,
+            routing,
+            config,
+            RandomSelection(),
+            peers,
+            [origin] + deployment.seeds,
+            access_overrides=deployment.access_overrides,
+        ).run(until=100_000.0)
+        return plain, cached, deployment
+
+    plain, cached, deployment = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    gain = (
+        (plain.mean_completion() - cached.mean_completion())
+        / plain.mean_completion()
+        * 100.0
+    )
+    rows = [
+        f"without caches: mean completion {plain.mean_completion():7.1f} s",
+        f"with {len(deployment.seeds)} advertised caches "
+        f"({deployment.total_capacity_mbps:.0f} Mbps): {cached.mean_completion():7.1f} s",
+        f"completion-time gain {gain:.1f}%",
+    ]
+    print_rows("Extension: capability-interface caches", rows)
+
+    assert cached.mean_completion() < plain.mean_completion()
+    assert len(cached.completion_times) == len(plain.completion_times)

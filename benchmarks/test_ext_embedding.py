@@ -1,0 +1,44 @@
+"""Extension: virtual coordinate embedding of the p-distance mesh.
+
+The paper lists coordinate embedding as the scalability path for the
+p4p-distance interface (Secs. 9-10).  This benchmark embeds ISP-B's
+52-PID full mesh and reports the accuracy/compression trade-off.
+"""
+
+from conftest import print_rows
+
+from repro.core.embedding import embed_pdistances, embedding_quality
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.core.objectives import BandwidthDistanceProduct
+from repro.network.generators import isp_b
+
+
+def test_ext_embedding_tradeoff(benchmark):
+    topology = isp_b()
+    itracker = ITracker(
+        topology=topology,
+        config=ITrackerConfig(mode=PriceMode.HOP_COUNT),
+        objective=BandwidthDistanceProduct(),
+    )
+    view = itracker.get_pdistances()
+
+    def sweep():
+        return {
+            dims: embedding_quality(view, embed_pdistances(view, dimensions=dims))
+            for dims in (2, 3, 5, 8)
+        }
+
+    qualities = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        f"d={dims}: stress {quality.stress:.3f}  "
+        f"compression {quality.compression_ratio:.1f}x  "
+        f"max rel err {quality.max_relative_error:.2f}"
+        for dims, quality in qualities.items()
+    ]
+    print_rows("Extension: p-distance coordinate embedding (ISP-B, 52 PIDs)", rows)
+
+    # Substantial state reduction at usable accuracy.
+    assert qualities[5].stress < 0.2
+    assert qualities[5].compression_ratio > 5.0
+    # More dimensions never cost accuracy materially.
+    assert qualities[8].stress <= qualities[2].stress + 0.02

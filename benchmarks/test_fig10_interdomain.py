@@ -1,0 +1,37 @@
+"""Fig. 10: interdomain multihoming cost control.
+
+Paper's shape: native's charging volume on the worse interdomain link is
+~3x P4P's; localized's is ~2x P4P's; localized's completion has a slightly
+better mean but a longer tail.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.fig10_interdomain import run_fig10
+
+
+def test_fig10_interdomain(benchmark, bench_scale):
+    fig10 = benchmark.pedantic(
+        lambda: run_fig10(n_peers=bench_scale["fig6_peers"]),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for scheme in ("native", "localized", "p4p"):
+        volumes = "  ".join(
+            f"{link}: {fig10.charging[scheme].get(link, 0.0):7.1f}"
+            for link in fig10.interdomain_links
+        )
+        rows.append(
+            f"{scheme:<10} mean {fig10.outcomes[scheme].mean_completion:6.1f}s  "
+            f"charging volumes [{volumes}]"
+        )
+    rows.append(
+        f"worst-link charging ratio vs P4P: native {fig10.worst_link_ratio('native'):.2f}x "
+        f"(paper ~3x), localized {fig10.worst_link_ratio('localized'):.2f}x (paper ~2x)"
+    )
+    print_rows("Fig. 10 (interdomain multihoming)", rows)
+
+    # Native pays the highest interdomain bill; P4P the lowest.
+    assert fig10.worst_link_ratio("native") > 1.5
+    assert fig10.worst_link_ratio("localized") > 1.0

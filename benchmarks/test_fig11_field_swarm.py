@@ -1,0 +1,36 @@
+"""Fig. 11: field-test swarm-size dynamics.
+
+Paper's shape: two parallel swarms of nearly equal size; populations peak
+in the flash-crowd days then settle to a lower level.
+"""
+
+from conftest import print_rows
+
+
+def test_fig11_field_swarm(benchmark, field_test_figures):
+    timelines = benchmark(field_test_figures.swarm_timelines)
+    rows = []
+    for scheme, series in timelines.items():
+        if not series:
+            continue
+        peak_time, peak = max(series, key=lambda point: point[1])
+        tail = series[-1][1]
+        rows.append(
+            f"{scheme:<8} peak {peak:4d} clients at t={peak_time:7.0f}s, final {tail:4d}"
+        )
+    print_rows("Fig. 11 (field-test swarm sizes)", rows)
+
+    native = dict(timelines)["native"]
+    p4p = dict(timelines)["p4p"]
+    assert native and p4p
+    native_peak = max(size for _, size in native)
+    p4p_peak = max(size for _, size in p4p)
+    # Random assignment keeps the two swarms comparable (paper's basis for
+    # a fair comparison).
+    assert abs(native_peak - p4p_peak) <= 0.35 * max(native_peak, p4p_peak)
+    # Flash crowd: the peak happens in the first flash days, and the swarm
+    # decays afterwards.
+    horizon = native[-1][0]
+    peak_time = max(native, key=lambda point: point[1])[0]
+    assert peak_time < horizon * 0.75
+    assert native[-1][1] < native_peak

@@ -1,0 +1,39 @@
+"""Fig. 12: field-test unit BDP and completion times.
+
+Paper: unit BDP drops 5.5 -> 0.89 (mean PID-pair hops 6.2 for context);
+average completion improves ~23% (9460 s -> 7312 s); native FTTP completion
+is ~68% higher than P4P's.
+"""
+
+from conftest import print_rows
+
+from repro.metrics.bdp import mean_pid_pair_hops
+from repro.network.routing import RoutingTable
+
+
+def test_fig12_field_completion(benchmark, field_test_figures):
+    bdp = benchmark(field_test_figures.unit_bdp)
+    figures = field_test_figures
+    routing = RoutingTable.build(figures.report.topology)
+    pair_hops = mean_pid_pair_hops(
+        routing,
+        pids=[p for p in figures.report.topology.aggregation_pids if p != "EXTERNAL"],
+    )
+    rows = [
+        f"unit BDP: native {bdp['native']:.2f} -> p4p {bdp['p4p']:.2f} "
+        f"(paper 5.5 -> 0.89; mean PID-pair hops here {pair_hops:.1f}, paper 6.2)",
+        f"mean completion: native {figures.mean_completion('native'):.1f}s "
+        f"-> p4p {figures.mean_completion('p4p'):.1f}s "
+        f"({figures.overall_improvement_percent():.1f}% improvement; paper ~23%)",
+        f"FTTP: native {figures.mean_completion('native', 'fttp'):.1f}s vs "
+        f"p4p {figures.mean_completion('p4p', 'fttp'):.1f}s "
+        f"(native {figures.fttp_excess_percent():.1f}% higher; paper ~68%)",
+    ]
+    print_rows("Fig. 12 (field-test unit BDP and completion)", rows)
+
+    # 12a: P4P cuts unit BDP.
+    assert bdp["p4p"] < bdp["native"]
+    # 12b: P4P improves average completion.
+    assert figures.overall_improvement_percent() > 0
+    # 12c: FTTP clients gain the most (native noticeably higher).
+    assert figures.fttp_excess_percent() > 10.0

@@ -1,0 +1,42 @@
+"""Fig. 6: BitTorrent Internet experiments on Abilene.
+
+Paper's shape:
+* 6a -- native completion worst (P4P 10-20% better, localized slightly
+  better than P4P);
+* 6b -- protected-link traffic: native more than 2x P4P; localized more
+  than P4P (paper: >= +69%).
+"""
+
+from conftest import print_rows
+
+from repro.experiments.fig6_internet import run_fig6
+
+
+def test_fig6_bittorrent_internet(benchmark, bench_scale):
+    fig6 = benchmark.pedantic(
+        lambda: run_fig6(n_peers=bench_scale["fig6_peers"], n_runs=3),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for scheme in ("native", "localized", "p4p"):
+        rows.append(
+            f"{scheme:<10} mean completion {fig6.mean_completion(scheme):7.1f} s   "
+            f"bottleneck traffic {fig6.bottleneck_mbit(scheme):8.1f} Mbit"
+        )
+    rows.append(
+        "paper: native >200% more bottleneck traffic than P4P; "
+        "localized >= 69% more; native completion worst"
+    )
+    print_rows("Fig. 6 (Abilene Internet experiments)", rows)
+
+    native = fig6.outcomes["native"]
+    localized = fig6.outcomes["localized"]
+    p4p = fig6.outcomes["p4p"]
+    # 6b: native loads the protected link far more than P4P.
+    assert fig6.bottleneck_mbit("native") > 2.0 * fig6.bottleneck_mbit("p4p")
+    # 6b: localized is not aware of the ISP objective either.
+    assert fig6.bottleneck_mbit("localized") > fig6.bottleneck_mbit("p4p")
+    # 6a: native completion is the worst of the three.
+    assert native.mean_completion > p4p.mean_completion
+    assert native.mean_completion > localized.mean_completion

@@ -1,0 +1,40 @@
+"""Fig. 8: swarm-size sweep on ISP-A (normalized by the native maximum).
+
+Paper's shape: P4P ~20% faster than native; native bottleneck utilization
+~2.5x P4P; localized utilization can exceed 2x P4P despite good completion.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.fig7_fig8_sweep import run_fig8
+
+
+def test_fig8_swarm_size_ispa(benchmark, bench_scale):
+    sweep = benchmark.pedantic(
+        lambda: run_fig8(swarm_sizes=bench_scale["sweep_sizes"]),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for scheme in ("native", "localized", "p4p"):
+        series = sweep.normalized_series(scheme)
+        rows.append(
+            f"{scheme:<10} normalized completion: "
+            + "  ".join(f"{size}:{value:.2f}" for size, value in series)
+        )
+    peak = {
+        scheme: max((u for _, u in series), default=0.0)
+        for scheme, series in sweep.timelines.items()
+    }
+    rows.append(
+        "peak bottleneck utilization: "
+        + "  ".join(f"{scheme} {peak[scheme]:.4f}" for scheme in peak)
+    )
+    print_rows("Fig. 8 (ISP-A swarm-size sweep, normalized)", rows)
+
+    # Normalization sanity: native values are <= 1 by construction.
+    assert all(value <= 1.0 + 1e-9 for _, value in sweep.normalized_series("native"))
+    # P4P at least matches native on completion across the sweep.
+    assert sweep.improvement_percent("p4p") > -5.0
+    # Native concentrates more traffic on the bottleneck link.
+    assert peak["native"] > peak["p4p"]

@@ -1,0 +1,34 @@
+"""Fig. 9: Liveswarms backbone traffic volumes, native vs P4P.
+
+Paper's shape: P4P cuts the average per-backbone-link volume ~60% (50 MB
+to 20 MB) at approximately the same streaming throughput.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.fig9_liveswarms import run_fig9
+
+
+def test_fig9_liveswarms(benchmark, bench_scale):
+    fig9 = benchmark.pedantic(
+        lambda: run_fig9(
+            n_clients=bench_scale["streaming_clients"],
+            duration=bench_scale["streaming_duration"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        f"native mean backbone volume {fig9.mean_backbone_mb('native'):8.2f} MB "
+        f"(continuity {fig9.native.mean_continuity():.2f})",
+        f"p4p    mean backbone volume {fig9.mean_backbone_mb('p4p'):8.2f} MB "
+        f"(continuity {fig9.p4p.mean_continuity():.2f})",
+        f"reduction {fig9.reduction_percent():.1f}% (paper: ~60%)",
+        f"throughput ratio p4p/native {fig9.throughput_ratio():.2f} (paper: ~1.0)",
+    ]
+    print_rows("Fig. 9 (Liveswarms traffic volumes)", rows)
+
+    # P4P reduces average backbone volume substantially...
+    assert fig9.reduction_percent() > 30.0
+    # ...without sacrificing streaming throughput.
+    assert fig9.throughput_ratio() > 0.9

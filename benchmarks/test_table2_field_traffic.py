@@ -1,0 +1,29 @@
+"""Table 2: field-test overall traffic statistics.
+
+Paper's ratios (Native : P4P): External->ISP-B 1.53, ISP-B->External 1.70,
+ISP-B<->ISP-B 0.15, Total ~1.0 -- i.e. the same total traffic, but P4P
+shifts it off interdomain links and into the ISP.
+"""
+
+from conftest import print_rows
+
+
+def test_table2_field_traffic(benchmark, field_test_figures):
+    table = benchmark(field_test_figures.table2)
+    rows = []
+    for label in ("External <-> External", "External -> ISP", "ISP -> External", "ISP <-> ISP", "Total"):
+        rows.append(
+            f"{label:<24} native {table['native'][label]:12.0f}  "
+            f"p4p {table['p4p'][label]:12.0f}  ratio {table['ratio'][label]:6.2f}"
+        )
+    rows.append("paper ratios: ext->ISP 1.53, ISP->ext 1.70, ISP<->ISP 0.15, total 1.01")
+    print_rows("Table 2 (field-test overall traffic)", rows)
+
+    ratio = table["ratio"]
+    # P4P pulls interdomain traffic down (ratios > 1)...
+    assert ratio["External -> ISP"] > 1.0
+    assert ratio["ISP -> External"] > 1.0
+    # ...and multiplies intra-ISP traffic (ratio well below 1).
+    assert ratio["ISP <-> ISP"] < 0.8
+    # Total demand is roughly preserved.
+    assert 0.7 < ratio["Total"] < 1.4

@@ -1,0 +1,23 @@
+"""Table 3: field-test internal (ISP-B) traffic statistics.
+
+Paper: intra-metro share of internal traffic rises from 6.27% (native) to
+57.98% (P4P).
+"""
+
+from conftest import print_rows
+
+
+def test_table3_field_internal(benchmark, field_test_figures):
+    table = benchmark(field_test_figures.table3)
+    rows = []
+    for scheme in ("native", "p4p"):
+        entry = table[scheme]
+        rows.append(
+            f"{scheme:<8} total {entry['total']:10.0f}  cross-metro {entry['cross_metro']:10.0f}  "
+            f"same-metro {entry['same_metro']:10.0f}  localization {entry['localization_percent']:5.1f}%"
+        )
+    rows.append("paper: 6.27% (native) -> 57.98% (P4P)")
+    print_rows("Table 3 (field-test internal traffic)", rows)
+
+    assert table["p4p"]["localization_percent"] > 1.5 * table["native"]["localization_percent"]
+    assert table["p4p"]["same_metro"] > table["native"]["same_metro"]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Audit an iTracker for neutrality, as an independent application would.
+
+The p4p-distance interface is designed so that applications can verify an
+ISP is neutral (Sec. 4).  This example audits three portals:
+
+1. an honest one (dynamic MLU prices),
+2. one whose declared privacy perturbation explains its noise,
+3. a discriminating one that quotes a competitor's PID pair 5x higher.
+
+Run:  python examples/neutrality_audit.py
+"""
+
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.core.pdistance import PDistanceMap
+from repro.management.neutrality import (
+    verify_equal_treatment,
+    verify_link_consistency,
+)
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+
+
+def main() -> None:
+    topology = abilene()
+    routing = RoutingTable.build(topology)
+
+    # 1. Honest portal: dynamic prices from observed loads.
+    itracker = ITracker(
+        topology=topology,
+        config=ITrackerConfig(mode=PriceMode.DYNAMIC, step_size=0.001),
+    )
+    itracker.observe_loads({("WASH", "NYCM"): 6000.0})
+    honest = itracker.get_pdistances()
+    report = verify_link_consistency(honest, topology, routing)
+    print(f"honest portal:         consistent={report.consistent} "
+          f"(residual {report.max_residual:.2e})")
+
+    # 2. Perturbed portal: noise within the declared bound passes.
+    noisy_tracker = ITracker(
+        topology=topology,
+        config=ITrackerConfig(mode=PriceMode.OSPF_WEIGHTS, perturbation=0.03),
+    )
+    noisy = noisy_tracker.get_pdistances()
+    tolerance = 0.08 * max(noisy.distances.values())
+    report = verify_link_consistency(noisy, topology, routing, tolerance=tolerance)
+    print(f"perturbed portal:      consistent={report.consistent} "
+          f"(residual {report.max_residual:.3f} <= tol {tolerance:.3f})")
+
+    # 3. Discriminating portal: one pair tampered far beyond any link model.
+    tampered = dict(honest.distances)
+    tampered[("SEAT", "NYCM")] = honest.distance("SEAT", "NYCM") * 5.0 + 1.0
+    crooked = PDistanceMap(pids=honest.pids, distances=tampered)
+    report = verify_link_consistency(crooked, topology, routing, tolerance=1e-3)
+    print(f"discriminating portal: consistent={report.consistent} "
+          f"(worst pair {report.worst_pair}, residual {report.max_residual:.3f})")
+
+    # Equal treatment: compare what two requesters were served.
+    other_view = noisy_tracker.get_pdistances()
+    treatment = verify_equal_treatment(noisy, other_view, relative_tolerance=0.08)
+    print(f"equal treatment check: equal={treatment.equal} "
+          f"(max gap {treatment.max_relative_gap:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The Pando field test, scaled to a laptop (Fig. 11/12, Tables 2/3).
+
+Two parallel swarms share a ~20 MB clip over the synthetic 52-PoP ISP-B
+plus an external-Internet cloud: one swarm runs native Pando (random
+peering), the other the P4P integration (appTracker Optimization Service
+weights from the bandwidth-matching LP).  Clients arrive in a flash crowd,
+download, seed briefly, and leave.
+
+Run:  python examples/pando_field_test.py
+"""
+
+from repro.experiments.fig11_12_fieldtest import run_field_test
+from repro.simulator.fieldtest import FieldTestConfig
+
+
+def main() -> None:
+    print("running both field-test swarms (this takes ~10 seconds)...")
+    figures = run_field_test(
+        FieldTestConfig(n_clients=800, days=6, day_seconds=300.0)
+    )
+
+    print("\nswarm-size dynamics (Fig. 11):")
+    for scheme, series in figures.swarm_timelines().items():
+        if not series:
+            continue
+        peak_time, peak = max(series, key=lambda point: point[1])
+        print(
+            f"  {scheme:<8} peak {peak:4d} clients at t={peak_time:6.0f}s, "
+            f"final {series[-1][1]:4d}"
+        )
+
+    print("\noverall traffic split (Table 2, Mbit):")
+    table2 = figures.table2()
+    for row in ("External <-> External", "External -> ISP", "ISP -> External", "ISP <-> ISP", "Total"):
+        print(
+            f"  {row:<24} native {table2['native'][row]:10.0f}   "
+            f"p4p {table2['p4p'][row]:10.0f}   ratio {table2['ratio'][row]:5.2f}"
+        )
+
+    print("\ninternal localization (Table 3):")
+    table3 = figures.table3()
+    for scheme in ("native", "p4p"):
+        print(
+            f"  {scheme:<8} same-metro share of internal traffic: "
+            f"{table3[scheme]['localization_percent']:5.1f}%"
+        )
+
+    print("\nunit BDP and completion (Fig. 12):")
+    bdp = figures.unit_bdp()
+    print(f"  unit BDP: native {bdp['native']:.2f} -> p4p {bdp['p4p']:.2f}")
+    print(
+        f"  mean completion: native {figures.mean_completion('native'):.1f}s "
+        f"-> p4p {figures.mean_completion('p4p'):.1f}s "
+        f"({figures.overall_improvement_percent():.0f}% better)"
+    )
+    print(
+        f"  FTTP clients: native {figures.mean_completion('native', 'fttp'):.1f}s "
+        f"vs p4p {figures.mean_completion('p4p', 'fttp'):.1f}s "
+        f"(native {figures.fttp_excess_percent():.0f}% higher)"
+    )
+
+
+if __name__ == "__main__":
+    main()

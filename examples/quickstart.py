@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: an ISP publishes p-distances, an application optimizes.
+
+Walks the core P4P loop end to end on the real Abilene backbone:
+
+1. build the provider's internal view (topology + background traffic);
+2. run an iTracker with the min-max-link-utilization objective;
+3. query the p4p-distance interface the way an appTracker would;
+4. solve the application-side bandwidth-matching optimization (eqs. 1-7)
+   against those distances;
+5. feed the resulting link loads back and watch the prices adapt.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.core.objectives import MinMaxUtilization
+from repro.core.session import (
+    SessionDemand,
+    max_matching_throughput,
+    min_cost_traffic,
+)
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+from repro.network.traffic import TrafficMatrix, apply_background, scale_background_to_utilization
+
+
+def main() -> None:
+    # 1. The provider's network: Abilene with cross traffic at 60% MLU.
+    topology = abilene()
+    routing = RoutingTable.build(topology)
+    apply_background(
+        topology, TrafficMatrix.gravity(topology, total_mbps=20_000.0, seed=1), routing
+    )
+    scale_background_to_utilization(topology, 0.6)
+
+    # 2. The provider portal: dynamic prices, MLU objective.
+    itracker = ITracker(
+        topology=topology,
+        config=ITrackerConfig(mode=PriceMode.DYNAMIC, step_size=0.002),
+        objective=MinMaxUtilization(),
+    )
+    itracker.warm_start()
+
+    # 3. An application session: one swarm with peers in five metros.
+    pids = ["SEAT", "NYCM", "CHIN", "ATLA", "LOSA"]
+    session = SessionDemand(
+        name="swarm-42",
+        uploads={pid: 2000.0 for pid in pids},
+        downloads={pid: 2000.0 for pid in pids},
+    )
+    view = itracker.get_pdistances(pids=pids)
+    print("p-distances from NYCM:")
+    for dst, distance in sorted(view.row("NYCM").items()):
+        print(f"  NYCM -> {dst:<5} {distance:.6f}")
+
+    # 4. The application's local optimization: cheapest acceptable pattern
+    #    shipping at least 90% of the matching optimum.
+    opt, _ = max_matching_throughput(session)
+    pattern = min_cost_traffic(session, view, beta=0.9, opt=opt)
+    print(f"\nmatching optimum OPT = {opt:.0f} Mbps; "
+          f"P4P pattern ships {pattern.total():.0f} Mbps")
+    print("largest flows:")
+    for (src, dst), mbps in sorted(pattern.flows.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  {src} -> {dst}: {mbps:.0f} Mbps")
+
+    # 5. Close the loop: the iTracker observes the load and reprices.
+    loads = pattern.link_loads(routing)
+    before = dict(itracker.link_prices)
+    itracker.observe_loads(loads)
+    after = itracker.link_prices
+    moved = sorted(
+        after, key=lambda key: abs(after[key] - before[key]), reverse=True
+    )[:3]
+    print("\nlargest per-link price moves after observing the swarm:")
+    for key in moved:
+        print(f"  {key[0]} -> {key[1]}: {before[key]:.8f} -> {after[key]:.8f}")
+    mlu = MinMaxUtilization().evaluate(topology, loads)
+    print(f"resulting max link utilization: {mlu:.3f}")
+
+
+if __name__ == "__main__":
+    main()

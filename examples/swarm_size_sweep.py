@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Swarm-size sweep with bottleneck-utilization timelines (Figs. 7/8).
+
+Runs native / localized / P4P BitTorrent at several swarm sizes on Abilene
+with east-coast-heavy cross traffic, then charts the bottleneck link's
+utilization over time for the largest swarm.
+
+Run:  python examples/swarm_size_sweep.py
+"""
+
+from repro.experiments.fig7_fig8_sweep import run_fig7
+from repro.metrics.ascii_plot import ascii_plot
+
+
+def main() -> None:
+    sizes = (60, 120, 180)
+    print(f"sweeping swarm sizes {sizes} x 3 schemes (this takes ~20 seconds)...")
+    sweep = run_fig7(swarm_sizes=sizes)
+
+    print(f"\n{'size':>6}" + "".join(f"{scheme:>14}" for scheme in ("native", "localized", "p4p")))
+    for point in sweep.points:
+        print(
+            f"{point.swarm_size:>6}"
+            + "".join(
+                f"{point.mean_completion[scheme]:>12.1f} s"
+                for scheme in ("native", "localized", "p4p")
+            )
+        )
+    print(
+        f"\nP4P completion improvement over native: "
+        f"{sweep.improvement_percent('p4p'):.1f}%"
+    )
+
+    print(f"\nbottleneck-link utilization over time (swarm size {max(sizes)}):")
+    timelines = {
+        scheme: series for scheme, series in sweep.timelines.items() if series
+    }
+    print(ascii_plot(timelines, x_label="time (s)", y_label="utilization"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Trackerless P4P: DHT discovery plus direct iTracker queries.
+
+No appTracker anywhere: each client announces itself in a Kademlia-style
+DHT, discovers swarm candidates from provider records, pulls p-distances
+straight from its ISP's portal, and runs the staged P4P selection locally
+-- the deployment mode Sec. 3 sketches and Sec. 6.2 leaves as future work.
+
+Run:  python examples/trackerless_swarm.py
+"""
+
+import random
+
+from repro.apptracker.selection import PeerInfo, RandomSelection
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.core.objectives import BandwidthDistanceProduct
+from repro.dht.kademlia import build_network
+from repro.dht.trackerless import (
+    TrackerlessSelector,
+    TrackerlessSwarm,
+    itracker_view_fetcher,
+)
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+from repro.simulator.swarm import SwarmConfig, SwarmSimulation
+from repro.workloads.placement import place_peers
+
+
+def main() -> None:
+    topology = abilene()
+    routing = RoutingTable.build(topology)
+    as_number = topology.node("SEAT").as_number
+    itracker = ITracker(
+        topology=topology,
+        config=ITrackerConfig(mode=PriceMode.DYNAMIC, step_size=0.002),
+        objective=BandwidthDistanceProduct(),
+    )
+    itracker.warm_start()
+
+    rng = random.Random(7)
+    peers = place_peers(topology, 40, rng, first_id=1)
+    seed = PeerInfo(peer_id=0, pid="CHIN", as_number=as_number)
+
+    # Every client runs a DHT node; the swarm is a provider-record key.
+    network, nodes = build_network(
+        [f"dht-{peer.peer_id}" for peer in [seed] + peers]
+    )
+    swarm = TrackerlessSwarm(network=network, content="release.tar.gz")
+    home = {}
+    for info, node in zip([seed] + peers, nodes):
+        swarm.join(info, node)
+        home[info.peer_id] = node
+    print(f"DHT of {len(network)} nodes; {len(peers)} provider records announced")
+
+    selector = TrackerlessSelector(
+        swarm=swarm,
+        home_nodes=home,
+        fetch_view=itracker_view_fetcher({as_number: itracker}),
+    )
+    config = SwarmConfig(
+        file_mbit=48.0, block_mbit=2.0, neighbors=10, join_window=60.0,
+        access_up_mbps=5.0, access_down_mbps=10.0, seed_up_mbps=20.0,
+        completion_quantum=0.05, rng_seed=11,
+    )
+
+    print("running the trackerless P4P swarm...")
+    p4p = SwarmSimulation(
+        topology, routing, config, selector, peers, [seed]
+    ).run(until=100_000.0)
+
+    print("running the same swarm with random (native) selection...")
+    native = SwarmSimulation(
+        topology, routing, config, RandomSelection(), peers, [seed]
+    ).run(until=100_000.0)
+
+    print(f"\ncompleted: {len(p4p.completion_times)}/{len(peers)} peers")
+    print(f"mean completion: trackerless-P4P {p4p.mean_completion():.1f}s "
+          f"vs native {native.mean_completion():.1f}s")
+    print(f"backbone traffic: trackerless-P4P "
+          f"{sum(p4p.link_traffic_mbit.values()):.0f} Mbit vs native "
+          f"{sum(native.link_traffic_mbit.values()):.0f} Mbit")
+
+
+if __name__ == "__main__":
+    main()

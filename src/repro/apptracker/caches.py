@@ -1,0 +1,77 @@
+"""Capability-driven in-network caches (the ``capability`` interface in use).
+
+The paper's capability interface lets a provider advertise on-demand
+servers and caches "that can help accelerate P2P content distribution";
+evaluating caching is listed as future work.  This module closes the
+loop: an appTracker queries a provider's capability registry and deploys
+the advertised caches into a swarm as high-capacity seeds pinned at their
+PIDs.
+
+The cache is modelled as a well-provisioned seed: it holds the full
+content and serves at its advertised capacity -- the same abstraction the
+paper's 1 Gbps initial seed uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apptracker.selection import PeerInfo
+from repro.core.capability import CapabilityKind
+from repro.core.itracker import ITracker
+
+
+@dataclass(frozen=True)
+class CacheDeployment:
+    """Cache seeds ready to hand to a swarm simulation.
+
+    Attributes:
+        seeds: PeerInfo entries for the cache nodes.
+        access_overrides: Per-cache (up, down) Mbps -- upload at the
+            advertised capacity, negligible download (caches are pre-warmed).
+    """
+
+    seeds: List[PeerInfo]
+    access_overrides: Dict[int, Tuple[float, float]]
+
+    @property
+    def total_capacity_mbps(self) -> float:
+        return sum(up for up, _ in self.access_overrides.values())
+
+
+def deploy_caches(
+    itracker: ITracker,
+    requester: str,
+    first_peer_id: int,
+    kinds: Sequence[CapabilityKind] = (
+        CapabilityKind.CACHE,
+        CapabilityKind.ON_DEMAND_SERVER,
+    ),
+    default_capacity_mbps: float = 100.0,
+) -> CacheDeployment:
+    """Query the capability interface and stage the advertised helpers.
+
+    Args:
+        itracker: Portal to query (access control applies -- an untrusted
+            requester raises :class:`~repro.core.capability.AccessDeniedError`).
+        requester: Identity presented to the capability interface.
+        first_peer_id: Peer id assigned to the first cache; consecutive
+            after that (must not collide with the swarm's ids).
+        kinds: Capability kinds treated as deployable seeds.
+        default_capacity_mbps: Upload capacity for capabilities advertised
+            without one.
+    """
+    seeds: List[PeerInfo] = []
+    overrides: Dict[int, Tuple[float, float]] = {}
+    next_id = first_peer_id
+    for kind in kinds:
+        for capability in itracker.get_capabilities(requester, kind=kind):
+            pid = capability.pid
+            as_number = itracker.topology.node(pid).as_number
+            info = PeerInfo(peer_id=next_id, pid=pid, as_number=as_number)
+            capacity = capability.capacity_mbps or default_capacity_mbps
+            seeds.append(info)
+            overrides[next_id] = (capacity, 1.0)
+            next_id += 1
+    return CacheDeployment(seeds=seeds, access_overrides=overrides)

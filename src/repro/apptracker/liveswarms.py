@@ -1,0 +1,96 @@
+"""Liveswarms integration: P4P for swarm-based streaming (Sec. 6.2).
+
+Liveswarms is a BitTorrent variant for real-time streaming; its clients add
+admission control and resource monitoring on top of swarm block exchange.
+The P4P integration mirrors P4P BitTorrent's inter-PID selection; the
+streaming-specific part implemented here is the admission controller: a new
+client is admitted only while the swarm's aggregate upload capacity can
+sustain the stream rate for everyone (with a provisioning safety factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apptracker.selection import PeerInfo, PeerSelector
+
+
+@dataclass
+class AdmissionController:
+    """Capacity-based admission for a streaming swarm.
+
+    Attributes:
+        stream_mbps: Playback rate each admitted client must sustain.
+        source_mbps: Upload capacity of the origin source.
+        safety_factor: Required ratio of aggregate supply to demand
+            (> 1 leaves headroom for churn and block scheduling slack).
+    """
+
+    stream_mbps: float
+    source_mbps: float
+    safety_factor: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.stream_mbps <= 0:
+            raise ValueError("stream_mbps must be positive")
+        if self.source_mbps < 0:
+            raise ValueError("source_mbps must be >= 0")
+        if self.safety_factor < 1.0:
+            raise ValueError("safety_factor must be >= 1")
+        self._client_upload: Dict[int, float] = {}
+
+    @property
+    def n_clients(self) -> int:
+        return len(self._client_upload)
+
+    @property
+    def supply_mbps(self) -> float:
+        return self.source_mbps + sum(self._client_upload.values())
+
+    def demand_mbps(self, extra_clients: int = 0) -> float:
+        return self.stream_mbps * (self.n_clients + extra_clients)
+
+    def can_admit(self, upload_mbps: float) -> bool:
+        """Would admitting a client with this upload keep the swarm viable?"""
+        if upload_mbps < 0:
+            raise ValueError("upload_mbps must be >= 0")
+        projected_supply = self.supply_mbps + upload_mbps
+        projected_demand = self.demand_mbps(extra_clients=1) * self.safety_factor
+        return projected_supply >= projected_demand
+
+    def admit(self, peer_id: int, upload_mbps: float) -> bool:
+        """Admit the client if viable; returns the decision."""
+        if peer_id in self._client_upload:
+            raise ValueError(f"peer {peer_id} already admitted")
+        if not self.can_admit(upload_mbps):
+            return False
+        self._client_upload[peer_id] = upload_mbps
+        return True
+
+    def leave(self, peer_id: int) -> None:
+        self._client_upload.pop(peer_id, None)
+
+
+@dataclass
+class LiveswarmsTracker:
+    """Streaming appTracker: admission control plus P4P peer selection."""
+
+    selector: PeerSelector
+    admission: AdmissionController
+
+    def join(
+        self,
+        client: PeerInfo,
+        upload_mbps: float,
+        candidates: List[PeerInfo],
+        m: int,
+        rng,
+    ) -> Optional[List[PeerInfo]]:
+        """Admit and select neighbors; ``None`` when admission fails."""
+        if not self.admission.admit(client.peer_id, upload_mbps):
+            return None
+        return self.selector.select(client, candidates, m, rng)
+
+    def leave(self, client: PeerInfo) -> None:
+        self.admission.leave(client.peer_id)

@@ -1,0 +1,211 @@
+"""Combining p-distances with performance maps (Sec. 4 use cases).
+
+"Applications can combine the p-distance map with performance maps (e.g.,
+delay, bandwidth or loss-rate) to make application decisions.  Performance
+maps can be obtained from ISPs or third parties.  Applications may set
+lower rates or back off before using higher p-distance paths."
+
+Three pieces:
+
+* :class:`PerformanceMap` -- third-party measurements per PID pair
+  (delay ms, bandwidth estimate, loss rate);
+* :class:`CombinedSelection` -- score candidates by a weighted blend of
+  normalized p-distance and performance, pick the best ``m``;
+* :func:`backoff_rate_hints` -- per-pair rate multipliers that back traffic
+  off high-p-distance paths (the "set lower rates" half of the text).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.apptracker.selection import PeerInfo, PeerSelector
+from repro.core.pdistance import PDistanceMap
+
+PidPair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class PathPerformance:
+    """One pair's measured performance."""
+
+    delay_ms: float = 0.0
+    bandwidth_mbps: float = float("inf")
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay_ms < 0 or self.bandwidth_mbps <= 0:
+            raise ValueError("delay must be >= 0 and bandwidth positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+    def badness(self) -> float:
+        """A scalar penalty: higher is worse.
+
+        Delay contributes linearly; loss uses the TCP-throughput intuition
+        that goodput falls with ``sqrt(loss)``; bandwidth contributes its
+        inverse (in transfer-seconds per Mbit).
+        """
+        loss_penalty = (self.loss_rate**0.5) * 1000.0
+        bandwidth_penalty = (
+            0.0 if self.bandwidth_mbps == float("inf") else 1000.0 / self.bandwidth_mbps
+        )
+        return self.delay_ms + loss_penalty + bandwidth_penalty
+
+
+@dataclass
+class PerformanceMap:
+    """Per-pair performance measurements with a neutral default."""
+
+    entries: Dict[PidPair, PathPerformance] = field(default_factory=dict)
+    default: PathPerformance = field(default_factory=PathPerformance)
+
+    def set(self, src: str, dst: str, performance: PathPerformance) -> None:
+        self.entries[(src, dst)] = performance
+
+    def get(self, src: str, dst: str) -> PathPerformance:
+        return self.entries.get((src, dst), self.default)
+
+
+def _normalize(values: Mapping[str, float]) -> Dict[str, float]:
+    """Scale values to [0, 1] (all-equal maps to 0)."""
+    if not values:
+        return {}
+    low = min(values.values())
+    high = max(values.values())
+    span = high - low
+    if span <= 0:
+        return {key: 0.0 for key in values}
+    return {key: (value - low) / span for key, value in values.items()}
+
+
+@dataclass
+class CombinedSelection(PeerSelector):
+    """Weighted blend of network cost (p-distance) and measured performance.
+
+    ``network_weight`` is the application's deference to the ISP: 1.0
+    reproduces pure P4P guidance, 0.0 pure performance-greedy selection.
+    Scores are normalized per-request so the two signals are comparable.
+    """
+
+    pdistance: PDistanceMap
+    performance: PerformanceMap
+    network_weight: float = 0.5
+    name: str = "combined"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.network_weight <= 1.0:
+            raise ValueError("network_weight must be in [0, 1]")
+
+    def select(
+        self,
+        client: PeerInfo,
+        candidates: Sequence[PeerInfo],
+        m: int,
+        rng: random.Random,
+    ) -> List[PeerInfo]:
+        pool = list(candidates)
+        if len(pool) <= m:
+            return pool
+        known = set(self.pdistance.pids)
+        network_cost = {}
+        performance_cost = {}
+        for index, peer in enumerate(pool):
+            key = str(index)
+            if client.pid in known and peer.pid in known:
+                network_cost[key] = self.pdistance.distance(client.pid, peer.pid)
+            else:
+                network_cost[key] = 0.0
+            performance_cost[key] = self.performance.get(client.pid, peer.pid).badness()
+        network_score = _normalize(network_cost)
+        performance_score = _normalize(performance_cost)
+        w = self.network_weight
+
+        def score(index: int) -> Tuple[float, float]:
+            key = str(index)
+            blended = w * network_score[key] + (1 - w) * performance_score[key]
+            return (blended, rng.random())
+
+        ranked = sorted(range(len(pool)), key=score)
+        return [pool[index] for index in ranked[:m]]
+
+
+def backoff_rate_hints(
+    pdistance: PDistanceMap,
+    src_pid: str,
+    dst_pids: Sequence[str],
+    full_rate_quantile: float = 0.5,
+    floor: float = 0.1,
+) -> Dict[str, float]:
+    """Rate multipliers backing traffic off high-p-distance paths.
+
+    Pairs at or below the ``full_rate_quantile`` of the source's distance
+    distribution get multiplier 1.0; the most expensive pair gets ``floor``;
+    in-between pairs interpolate linearly in distance.
+    """
+    if not 0.0 <= full_rate_quantile <= 1.0:
+        raise ValueError("full_rate_quantile must be in [0, 1]")
+    if not 0.0 < floor <= 1.0:
+        raise ValueError("floor must be in (0, 1]")
+    distances = {dst: pdistance.distance(src_pid, dst) for dst in dst_pids}
+    if not distances:
+        return {}
+    ordered = sorted(distances.values())
+    threshold = ordered[
+        min(len(ordered) - 1, int(full_rate_quantile * len(ordered)))
+    ]
+    worst = ordered[-1]
+    hints: Dict[str, float] = {}
+    for dst, distance in distances.items():
+        if distance <= threshold or worst <= threshold:
+            hints[dst] = 1.0
+        else:
+            fraction = (distance - threshold) / (worst - threshold)
+            hints[dst] = 1.0 - fraction * (1.0 - floor)
+    return hints
+
+
+@dataclass
+class BlackBoxSelection(PeerSelector):
+    """The Sec. 4 black-box strategy: run a randomized selector ``k`` times
+    and keep the run with the lowest total p-distance.
+
+    Works with any inner selector -- the application's structure-building
+    logic stays a black box; only its output is priced.
+    """
+
+    inner: PeerSelector
+    pdistance: PDistanceMap
+    attempts: int = 5
+    name: str = "black-box"
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def total_cost(self, client: PeerInfo, chosen: Sequence[PeerInfo]) -> float:
+        known = set(self.pdistance.pids)
+        return sum(
+            self.pdistance.distance(client.pid, peer.pid)
+            for peer in chosen
+            if client.pid in known and peer.pid in known
+        )
+
+    def select(
+        self,
+        client: PeerInfo,
+        candidates: Sequence[PeerInfo],
+        m: int,
+        rng: random.Random,
+    ) -> List[PeerInfo]:
+        best: Optional[List[PeerInfo]] = None
+        best_cost = float("inf")
+        for _ in range(self.attempts):
+            attempt = self.inner.select(client, candidates, m, rng)
+            cost = self.total_cost(client, attempt)
+            if cost < best_cost or best is None:
+                best = attempt
+                best_cost = cost
+        return best or []

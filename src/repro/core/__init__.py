@@ -1,0 +1,2 @@
+"""The paper's contribution: P4P interfaces, objectives, decomposition,
+iTracker, charging, and the application-session model."""

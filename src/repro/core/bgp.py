@@ -1,0 +1,102 @@
+"""BGP-preference-derived p-distances (Sec. 4 ISP use case).
+
+"An ISP can assign p-distances in a wide variety of ways: it derives
+p-distances from OSPF weights and BGP preferences."  Intradomain links get
+their OSPF weight; interdomain links are priced by the business
+relationship behind them -- customer links are revenue, peering is settled,
+transit costs money, and backup transit is the expensive last resort the
+motivating example (Sec. 2) warns locality-based peering blunders into.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.network.topology import Topology
+
+LinkKey = Tuple[str, str]
+
+
+class BgpRelationship(enum.Enum):
+    """Commercial relationship of an interdomain link, best first."""
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+    BACKUP = "backup"
+
+
+#: Default price multipliers per relationship, mirroring valley-free
+#: economics: send to customers for free (they pay), peers cheaply,
+#: providers at cost, backup providers only when desperate.
+DEFAULT_MULTIPLIERS: Mapping[BgpRelationship, float] = {
+    BgpRelationship.CUSTOMER: 0.0,
+    BgpRelationship.PEER: 1.0,
+    BgpRelationship.PROVIDER: 5.0,
+    BgpRelationship.BACKUP: 25.0,
+}
+
+
+@dataclass
+class BgpPolicy:
+    """Per-interdomain-link relationships plus pricing knobs.
+
+    Attributes:
+        relationships: Directed interdomain link -> relationship.
+        multipliers: Relationship -> price multiplier (applied to
+            ``unit_price``).
+        unit_price: The price of one "peer-grade" interdomain traversal,
+            in the same units as the OSPF weights it will sit beside.
+    """
+
+    relationships: Dict[LinkKey, BgpRelationship] = field(default_factory=dict)
+    multipliers: Mapping[BgpRelationship, float] = field(
+        default_factory=lambda: dict(DEFAULT_MULTIPLIERS)
+    )
+    unit_price: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.unit_price <= 0:
+            raise ValueError("unit_price must be positive")
+        for relationship, multiplier in self.multipliers.items():
+            if multiplier < 0:
+                raise ValueError(f"negative multiplier for {relationship}")
+
+    def classify(self, key: LinkKey, relationship: BgpRelationship) -> None:
+        self.relationships[key] = relationship
+
+    def price(self, key: LinkKey) -> Optional[float]:
+        """The BGP-derived price for a classified link; None if unknown."""
+        relationship = self.relationships.get(key)
+        if relationship is None:
+            return None
+        return self.unit_price * self.multipliers[relationship]
+
+
+def derive_prices(
+    topology: Topology,
+    policy: BgpPolicy,
+    default_interdomain: Optional[BgpRelationship] = BgpRelationship.PROVIDER,
+) -> Dict[LinkKey, float]:
+    """Sec. 4's "OSPF weights and BGP preferences" price assignment.
+
+    Intradomain links price at their OSPF weight; interdomain links at the
+    BGP relationship price.  Unclassified interdomain links fall back to
+    ``default_interdomain`` (None makes them an error instead).
+
+    The result plugs straight into ``PriceMode.EXPLICIT``.
+    """
+    prices: Dict[LinkKey, float] = {}
+    for key, link in topology.links.items():
+        if not link.interdomain:
+            prices[key] = link.ospf_weight
+            continue
+        bgp_price = policy.price(key)
+        if bgp_price is None:
+            if default_interdomain is None:
+                raise KeyError(f"interdomain link {key} has no BGP relationship")
+            bgp_price = policy.unit_price * policy.multipliers[default_interdomain]
+        prices[key] = bgp_price
+    return prices

@@ -1,0 +1,311 @@
+"""The iTracker: a provider's P4P portal (Secs. 3 and 6.1).
+
+One iTracker serves a single provider network.  It exposes the three control
+plane interfaces -- ``policy``, ``p4p-distance``, ``capability`` -- and
+maintains the per-link prices behind the p-distance view, either *static*
+(derived from OSPF weights, hop counts, or an explicit assignment) or
+*dynamic* (projected super-gradient updates driven by measured link loads,
+refreshed every ``update_period`` seconds).
+
+For interdomain multihoming cost control the iTracker tracks per-link volume
+histories and estimates the virtual capacity ``v_e`` with the Sec. 6.1
+charging-volume predictor.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.capability import Capability, CapabilityRegistry
+from repro.core.charging import (
+    BackgroundPredictor,
+    ChargingVolumePredictor,
+    estimate_virtual_capacity,
+)
+from repro.core.objectives import MinMaxUtilization, ProviderObjective, effective_capacity
+from repro.core.pdistance import PDistanceMap, PidMap, external_view
+from repro.core.policy import NetworkPolicy
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+from repro.optimization.projection import project_weighted_simplex, uniform_price
+
+LinkKey = Tuple[str, str]
+
+logger = logging.getLogger(__name__)
+
+
+class PriceMode(enum.Enum):
+    """How the iTracker assigns per-link p-distances (ISP use cases, Sec. 4)."""
+
+    OSPF_WEIGHTS = "ospf"
+    HOP_COUNT = "hop-count"
+    EXPLICIT = "explicit"
+    DYNAMIC = "dynamic"
+
+
+@dataclass
+class ITrackerConfig:
+    """Operator-tunable iTracker settings.
+
+    Attributes:
+        mode: Price assignment mode.
+        update_period: Seconds between dynamic price updates (``T``).
+        step_size: ``mu`` of the super-gradient update in dynamic mode.
+        perturbation: Relative privacy noise applied to the external view
+            (0 disables).
+        serve_ranks: Serve the coarse rank degradation instead of raw
+            p-distances (the 'coarsest level' use case).
+        intra_pid_distance: ``p_ii`` reported for intra-PID transfers.
+        charging_quantile: q of the percentile charging model.
+    """
+
+    mode: PriceMode = PriceMode.DYNAMIC
+    update_period: float = 30.0
+    step_size: float = 0.05
+    perturbation: float = 0.0
+    serve_ranks: bool = False
+    intra_pid_distance: float = 0.0
+    charging_quantile: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.update_period <= 0:
+            raise ValueError("update_period must be positive")
+        if self.step_size <= 0:
+            raise ValueError("step_size must be positive")
+
+
+@dataclass
+class ITracker:
+    """A provider portal bound to one topology.
+
+    The portal is deliberately light-weight: it never handles per-client
+    application joins; it answers aggregate queries that applications (or
+    appTrackers) may cache until the next update period.
+    """
+
+    topology: Topology
+    config: ITrackerConfig = field(default_factory=ITrackerConfig)
+    objective: ProviderObjective = field(default_factory=MinMaxUtilization)
+    policy: NetworkPolicy = field(default_factory=NetworkPolicy)
+    capabilities: CapabilityRegistry = field(default_factory=CapabilityRegistry)
+    pid_map: Optional[PidMap] = None
+    explicit_prices: Optional[Dict[LinkKey, float]] = None
+
+    def __post_init__(self) -> None:
+        self.routing = RoutingTable.build(self.topology)
+        self._link_order: Tuple[LinkKey, ...] = tuple(self.topology.links)
+        self._capacities = np.array(
+            [effective_capacity(self.topology.links[key]) for key in self._link_order]
+        )
+        self._prices = self._initial_prices()
+        self._version = 0
+        self._last_update_time = 0.0
+        self._volume_history: Dict[LinkKey, List[float]] = {}
+        self._background_history: Dict[LinkKey, List[float]] = {}
+
+    # -- price state -----------------------------------------------------------
+
+    def _initial_prices(self) -> np.ndarray:
+        mode = self.config.mode
+        if mode is PriceMode.OSPF_WEIGHTS:
+            return np.array(
+                [self.topology.links[key].ospf_weight for key in self._link_order]
+            )
+        if mode is PriceMode.HOP_COUNT:
+            return np.ones(len(self._link_order))
+        if mode is PriceMode.EXPLICIT:
+            if self.explicit_prices is None:
+                raise ValueError("EXPLICIT mode requires explicit_prices")
+            missing = set(self._link_order) - set(self.explicit_prices)
+            if missing:
+                raise ValueError(f"explicit prices missing for links: {sorted(missing)}")
+            return np.array([self.explicit_prices[key] for key in self._link_order])
+        return uniform_price(self._capacities)
+
+    @property
+    def link_prices(self) -> Dict[LinkKey, float]:
+        """Current internal-view per-link prices ``p_e``."""
+        return dict(zip(self._link_order, self._prices))
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every dynamic update (cache key)."""
+        return self._version
+
+    # -- the p4p-distance interface ---------------------------------------------
+
+    def get_pdistances(self, pids: Optional[Sequence[str]] = None) -> PDistanceMap:
+        """The external view, optionally restricted to a swarm's PIDs.
+
+        Applies the configured privacy perturbation and/or rank coarsening.
+        """
+        view = external_view(
+            self.topology,
+            self.routing,
+            self.link_prices,
+            self.objective.cost_offsets(self.topology),
+            intra_pid_distance=self.config.intra_pid_distance,
+        )
+        if pids is not None:
+            view = view.restricted_to(pids)
+        if self.config.perturbation > 0:
+            view = view.perturbed(self.config.perturbation, seed=self._version)
+        if self.config.serve_ranks:
+            view = view.to_ranks()
+        return view
+
+    # -- the policy / capability interfaces --------------------------------------
+
+    def get_policy(self) -> NetworkPolicy:
+        return self.policy
+
+    def get_capabilities(self, requester: str, **filters) -> List[Capability]:
+        return self.capabilities.query(requester, **filters)
+
+    def lookup_pid(self, ip: str) -> Tuple[str, int]:
+        """IP -> (PID, AS); requires a provisioned PID map."""
+        if self.pid_map is None:
+            raise RuntimeError("iTracker has no PID map provisioned")
+        return self.pid_map.lookup(ip)
+
+    # -- dynamic updates ----------------------------------------------------------
+
+    def observe_loads(
+        self, loads: Mapping[LinkKey, float], now: Optional[float] = None
+    ) -> bool:
+        """Feed measured P4P link loads; update prices if the period elapsed.
+
+        Args:
+            loads: Per-link P4P-controlled traffic in Mbps.
+            now: Measurement timestamp; when given, updates are rate-limited
+                to one per ``update_period``.  ``None`` forces an update.
+
+        Returns:
+            True when prices were updated.
+        """
+        if self.config.mode is not PriceMode.DYNAMIC:
+            return False
+        if now is not None:
+            if now - self._last_update_time < self.config.update_period and self._version > 0:
+                return False
+            self._last_update_time = now
+        xi = self.objective.supergradient(self.topology, self._link_order, loads)
+        self._prices = project_weighted_simplex(
+            self._prices + self.config.step_size * xi, self._capacities
+        )
+        self._version += 1
+        logger.debug(
+            "price update v%d for %s (%d links loaded)",
+            self._version,
+            self.topology.name,
+            sum(1 for value in loads.values() if value > 0),
+        )
+        return True
+
+    def refresh_topology(self) -> None:
+        """Re-derive routing and price state after a topology change.
+
+        Operators add/remove links for maintenance and failures; the portal
+        must re-route and re-dimension its price simplex.  Dynamic prices
+        restart from the projected previous vector where links survive.
+        """
+        self.routing = RoutingTable.build(self.topology)
+        old_prices = dict(zip(self._link_order, self._prices))
+        self._link_order = tuple(self.topology.links)
+        self._capacities = np.array(
+            [effective_capacity(self.topology.links[key]) for key in self._link_order]
+        )
+        if self.config.mode is PriceMode.DYNAMIC:
+            carried = np.array(
+                [old_prices.get(key, 0.0) for key in self._link_order]
+            )
+            self._prices = project_weighted_simplex(carried, self._capacities)
+        else:
+            self._prices = self._initial_prices()
+        self._version += 1
+
+    def warm_start(self, iterations: int = 30) -> None:
+        """Pre-converge dynamic prices against background traffic only.
+
+        The paper's Internet experiments note that "the p-distances before
+        the arrivals reflect pre-arrival network MLU": before any P4P load
+        exists, the super-gradient sees only ``b_e``, driving price mass
+        onto the already-utilized links.  No-op in static modes.
+        """
+        if self.config.mode is not PriceMode.DYNAMIC:
+            return
+        if iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        for _ in range(iterations):
+            xi = self.objective.supergradient(self.topology, self._link_order, {})
+            self._prices = project_weighted_simplex(
+                self._prices + self.config.step_size * xi, self._capacities
+            )
+        self._version += 1
+
+    # -- interdomain multihoming (Sec. 6.1) -----------------------------------------
+
+    def record_interval_volumes(
+        self,
+        total: Mapping[LinkKey, float],
+        background: Mapping[LinkKey, float],
+    ) -> None:
+        """Append one 5-minute volume sample per charged link."""
+        for key in total:
+            if key not in self.topology.links:
+                raise KeyError(f"unknown link {key}")
+            self._volume_history.setdefault(key, []).append(float(total[key]))
+            self._background_history.setdefault(key, []).append(
+                float(background.get(key, 0.0))
+            )
+
+    def update_virtual_capacities(
+        self,
+        charging_predictor: Optional[ChargingVolumePredictor] = None,
+        background_predictor: Optional[BackgroundPredictor] = None,
+        interval_seconds: float = 300.0,
+    ) -> Dict[LinkKey, float]:
+        """Re-estimate ``v_e`` for every charged link from recorded history.
+
+        Histories are per-interval volumes (Mbit); the estimate is converted
+        to a rate (Mbps) by ``interval_seconds``, written onto the links (so
+        the effective capacities used by the objective change) and returned.
+        """
+        charging = charging_predictor or ChargingVolumePredictor(
+            q=self.config.charging_quantile
+        )
+        estimates: Dict[LinkKey, float] = {}
+        for link in self.topology.interdomain_links:
+            history = self._volume_history.get(link.key)
+            if not history or len(history) < 2:
+                continue
+            interval = len(history)
+            v_e_volume = estimate_virtual_capacity(
+                history,
+                self._background_history[link.key],
+                interval,
+                charging_predictor=charging,
+                background_predictor=background_predictor,
+            )
+            v_e = v_e_volume / interval_seconds
+            link.virtual_capacity = v_e
+            estimates[link.key] = v_e
+        if estimates:
+            self._capacities = np.array(
+                [
+                    effective_capacity(self.topology.links[key])
+                    for key in self._link_order
+                ]
+            )
+            self._prices = project_weighted_simplex(self._prices, self._capacities)
+            logger.info(
+                "virtual capacities updated for %d charged links of %s",
+                len(estimates),
+                self.topology.name,
+            )
+        return estimates

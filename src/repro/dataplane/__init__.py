@@ -1,0 +1,9 @@
+"""The optional P4P data plane (Sec. 3).
+
+"The data plane is optional and includes functions for differentiating
+and prioritizing application traffic."  This package provides the
+primitives a provider would deploy at its edges: traffic classification,
+token-bucket policing, and a strict-priority scheduler that realizes the
+"less-than-best-effort" class the Peak Bandwidth objective treats P2P
+traffic as (Sec. 5).
+"""

@@ -1,0 +1,168 @@
+"""Data-plane primitives: classification, policing, priority scheduling.
+
+Three pieces, composable per link:
+
+* :class:`TrafficClassifier` -- maps a flow descriptor to a class
+  ("background", "p4p", ...); P4P traffic is identified cooperatively
+  (the application marks it) rather than by deep packet inspection --
+  exactly the distinction Sec. 9 draws against rate-limiting middleboxes.
+* :class:`TokenBucket` -- rate policing with burst tolerance.
+* :class:`PriorityScheduler` -- fluid strict-priority link sharing: each
+  class is served in priority order from the link's capacity; the
+  low-priority ("less-than-best-effort") class absorbs whatever is left,
+  which is the data-plane realization of the virtual-capacity idea.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+#: A flow descriptor: opaque attributes the classifier can inspect.
+FlowDescriptor = Mapping[str, object]
+
+
+@dataclass
+class TrafficClassifier:
+    """Ordered rule list mapping flow descriptors to traffic classes."""
+
+    default_class: str = "best-effort"
+
+    def __post_init__(self) -> None:
+        self._rules: List[Tuple[Callable[[FlowDescriptor], bool], str]] = []
+
+    def add_rule(
+        self, predicate: Callable[[FlowDescriptor], bool], traffic_class: str
+    ) -> None:
+        self._rules.append((predicate, traffic_class))
+
+    def classify(self, flow: FlowDescriptor) -> str:
+        for predicate, traffic_class in self._rules:
+            if predicate(flow):
+                return traffic_class
+        return self.default_class
+
+
+def p4p_marked(flow: FlowDescriptor) -> bool:
+    """The cooperative marking predicate: the application tags its flows."""
+    return bool(flow.get("p4p", False))
+
+
+@dataclass
+class TokenBucket:
+    """Token-bucket policer: sustained ``rate`` with ``burst`` tolerance.
+
+    ``offer(now, amount)`` returns the admitted share of ``amount`` (the
+    rest is dropped/deferred by the caller).  Time is caller-supplied so
+    the bucket composes with any simulation clock.
+    """
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self._tokens = self.burst
+        self._last = 0.0
+
+    def offer(self, now: float, amount: float) -> float:
+        if now < self._last:
+            raise ValueError("time cannot move backwards")
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        admitted = min(amount, self._tokens)
+        self._tokens -= admitted
+        return admitted
+
+    @property
+    def available(self) -> float:
+        return self._tokens
+
+
+@dataclass
+class PriorityScheduler:
+    """Fluid strict-priority sharing of one link's capacity.
+
+    Classes are served highest priority first; each receives
+    ``min(demand, remaining capacity)``.  The canonical P4P configuration
+    puts "background" above "p4p" so controlled traffic is
+    less-than-best-effort: it soaks up idle capacity and backs off the
+    moment real demand returns.
+    """
+
+    capacity: float
+    priorities: Sequence[str] = ("background", "best-effort", "p4p")
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if len(set(self.priorities)) != len(self.priorities):
+            raise ValueError("duplicate class in priority order")
+
+    def allocate(self, demands: Mapping[str, float]) -> Dict[str, float]:
+        """Serve per-class demands in priority order.
+
+        Unknown classes are served last (after all configured ones), in
+        sorted-name order for determinism.
+        """
+        for traffic_class, demand in demands.items():
+            if demand < 0:
+                raise ValueError(f"negative demand for {traffic_class!r}")
+        remaining = self.capacity
+        allocation: Dict[str, float] = {}
+        ordered = [c for c in self.priorities if c in demands]
+        ordered += sorted(c for c in demands if c not in self.priorities)
+        for traffic_class in ordered:
+            granted = min(demands[traffic_class], remaining)
+            allocation[traffic_class] = granted
+            remaining -= granted
+        return allocation
+
+    def p4p_headroom(self, background_demand: float) -> float:
+        """Capacity left for the scavenger class under current background."""
+        if background_demand < 0:
+            raise ValueError("background_demand must be >= 0")
+        return max(0.0, self.capacity - background_demand)
+
+
+@dataclass
+class ShapedLink:
+    """A link edge-device: classifier + per-class policers + scheduler.
+
+    ``transmit(now, flows)`` takes (descriptor, demand) pairs, classifies
+    them, polices classes that have a bucket configured, then schedules
+    the per-class aggregates; per-flow grants are pro-rata within a class.
+    """
+
+    scheduler: PriorityScheduler
+    classifier: TrafficClassifier = field(default_factory=TrafficClassifier)
+    policers: Dict[str, TokenBucket] = field(default_factory=dict)
+
+    def transmit(
+        self, now: float, flows: Sequence[Tuple[FlowDescriptor, float]]
+    ) -> List[float]:
+        """Per-flow admitted rates, aligned with the input order."""
+        classes: Dict[str, float] = {}
+        assigned: List[str] = []
+        for descriptor, demand in flows:
+            if demand < 0:
+                raise ValueError("flow demand must be >= 0")
+            traffic_class = self.classifier.classify(descriptor)
+            assigned.append(traffic_class)
+            classes[traffic_class] = classes.get(traffic_class, 0.0) + demand
+        policed: Dict[str, float] = {}
+        for traffic_class, demand in classes.items():
+            bucket = self.policers.get(traffic_class)
+            policed[traffic_class] = (
+                bucket.offer(now, demand) if bucket is not None else demand
+            )
+        granted = self.scheduler.allocate(policed)
+        results: List[float] = []
+        for (descriptor, demand), traffic_class in zip(flows, assigned):
+            class_demand = classes[traffic_class]
+            share = demand / class_demand if class_demand > 0 else 0.0
+            results.append(granted.get(traffic_class, 0.0) * share)
+        return results

@@ -1,0 +1,12 @@
+"""Trackerless substrate: a Kademlia-style DHT and P4P peer discovery.
+
+The paper covers both deployment modes: "in tracker-based P2P, appTrackers
+interact with iTrackers ... while in trackerless P2P that does not have
+central appTrackers but depends on mechanisms such as DHT, peers obtain
+the necessary information directly from iTrackers" (Sec. 3); the
+implementation for trackerless applications is left as future work
+(Sec. 6.2).  This package provides it: an in-process Kademlia-style DHT
+(XOR metric, k-buckets, iterative lookup, provider records) and a
+selector that discovers candidates through the DHT and applies the P4P
+staged selection with views fetched directly from the iTracker.
+"""

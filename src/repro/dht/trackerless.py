@@ -1,0 +1,127 @@
+"""Trackerless P4P: DHT discovery + direct iTracker queries (Sec. 3).
+
+In trackerless mode there is no appTracker: a joining peer discovers swarm
+candidates through the DHT's provider records and obtains p-distances
+*directly* from its provider's iTracker, then runs the same staged P4P
+selection locally.  The iTracker remains off the critical path: if the
+portal query fails, the peer falls back to random selection among the
+discovered candidates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from repro.apptracker.selection import (
+    P4PSelection,
+    PeerInfo,
+    PeerSelector,
+    RandomSelection,
+)
+from repro.core.itracker import ITracker
+from repro.core.pdistance import PDistanceMap
+from repro.dht.kademlia import DhtNetwork, DhtNode, infohash
+
+
+@dataclass
+class TrackerlessSwarm:
+    """One content's trackerless membership, backed by a DHT.
+
+    Each participating peer runs (or borrows) a DHT node; joining a swarm
+    announces a provider record mapping the peer id to its
+    :class:`~repro.apptracker.selection.PeerInfo`.
+    """
+
+    network: DhtNetwork
+    content: str
+
+    def __post_init__(self) -> None:
+        self.key = infohash(self.content)
+        self._home: Dict[int, DhtNode] = {}
+
+    def join(self, peer: PeerInfo, home_node: DhtNode) -> int:
+        """Announce the peer; returns the number of record replicas."""
+        self._home[peer.peer_id] = home_node
+        return home_node.announce(self.key, peer.peer_id, peer)
+
+    def leave(self, peer_id: int) -> None:
+        """Withdraw the peer's provider record (graceful departure)."""
+        home = self._home.pop(peer_id, None)
+        if home is not None and home.network.is_alive(home.node_id):
+            home.forget(self.key, peer_id)
+
+    def discover(self, via: DhtNode) -> List[PeerInfo]:
+        """Fetch the current provider records through one DHT node."""
+        return [value for value in via.get_peers(self.key) if isinstance(value, PeerInfo)]
+
+
+#: Fetches the p-distance view for an AS; may raise (portal unreachable).
+ViewFetcher = Callable[[int, Sequence[str]], PDistanceMap]
+
+
+def itracker_view_fetcher(itrackers: Mapping[int, ITracker]) -> ViewFetcher:
+    """Direct-query fetcher: peers talk to their provider's iTracker."""
+
+    def fetch(as_number: int, pids: Sequence[str]) -> PDistanceMap:
+        itracker = itrackers.get(as_number)
+        if itracker is None:
+            raise KeyError(f"no iTracker for AS{as_number}")
+        return itracker.get_pdistances(pids=list(pids))
+
+    return fetch
+
+
+@dataclass
+class TrackerlessSelector(PeerSelector):
+    """Peer selection without an appTracker.
+
+    On every request the selector (running *at the client*) discovers
+    candidates via the DHT, fetches its AS's p-distances straight from the
+    iTracker, and applies the staged P4P selection.  Both lookups degrade
+    gracefully: a dead DHT node or unreachable portal falls back to the
+    candidates the caller already knows and random choice.
+    """
+
+    swarm: TrackerlessSwarm
+    home_nodes: Mapping[int, DhtNode]  # peer_id -> that peer's DHT node
+    fetch_view: ViewFetcher
+    upper_intra: float = 0.7
+    upper_inter: float = 0.8
+    gamma: float = 0.5
+    name: str = "trackerless-p4p"
+
+    def select(
+        self,
+        client: PeerInfo,
+        candidates: Sequence[PeerInfo],
+        m: int,
+        rng: random.Random,
+    ) -> List[PeerInfo]:
+        pool: List[PeerInfo] = list(candidates)
+        home = self.home_nodes.get(client.peer_id)
+        if home is not None and home.network.is_alive(home.node_id):
+            # Discovery narrows the pool to peers the DHT can vouch for;
+            # records for departed peers are dropped against the caller's
+            # authoritative candidate list.
+            discovered_ids = {
+                peer.peer_id
+                for peer in self.swarm.discover(home)
+                if peer.peer_id != client.peer_id
+            }
+            narrowed = [peer for peer in candidates if peer.peer_id in discovered_ids]
+            if narrowed:
+                pool = narrowed
+        try:
+            pids = sorted({peer.pid for peer in pool} | {client.pid})
+            view = self.fetch_view(client.as_number, pids)
+        except Exception:
+            return RandomSelection().select(client, pool, m, rng)
+        staged = P4PSelection(
+            pdistances={client.as_number: view},
+            upper_intra=self.upper_intra,
+            upper_inter=self.upper_inter,
+            gamma=self.gamma,
+        )
+        return staged.select(client, pool, m, rng)

@@ -1,0 +1,40 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each ``run_*`` function is deterministic for a given configuration and
+returns a small result object whose fields correspond to the rows/series
+the paper reports.  The pytest-benchmark modules under ``benchmarks/`` are
+thin wrappers that execute these and print the reproduced numbers;
+``examples/`` scripts call the same functions interactively, and
+``python -m repro.tools.cli`` exposes them on the command line.
+"""
+
+from repro.experiments.comparison import (
+    ComparisonConfig,
+    SchemeOutcome,
+    run_comparison,
+    run_scheme,
+)
+from repro.experiments.fig6_internet import run_fig6
+from repro.experiments.fig7_fig8_sweep import run_fig7, run_fig8, run_sweep
+from repro.experiments.fig9_liveswarms import run_fig9
+from repro.experiments.fig10_interdomain import run_fig10
+from repro.experiments.fig11_12_fieldtest import run_field_test
+from repro.experiments.sec8_swarms import run_sec8
+from repro.experiments.table1_topologies import format_table1, run_table1
+
+__all__ = [
+    "ComparisonConfig",
+    "SchemeOutcome",
+    "run_comparison",
+    "run_scheme",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_sweep",
+    "run_fig9",
+    "run_fig10",
+    "run_field_test",
+    "run_sec8",
+    "format_table1",
+    "run_table1",
+]

@@ -1,0 +1,162 @@
+"""Figs. 7 and 8: swarm-size sweeps on Abilene and ISP-A.
+
+For each swarm size the same placement downloads a 12 MB file under each
+scheme; reported per size are the average completion time (Figs. 7a/8a) and
+the bottleneck-link utilization timeline for the largest configured size
+(Figs. 7b/8b).  Fig. 8 additionally normalizes by the native maximum, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.comparison import (
+    ComparisonConfig,
+    SchemeOutcome,
+    run_comparison,
+)
+from repro.metrics.bottleneck import utilization_timeline
+from repro.network.generators import isp_a
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+from repro.network.traffic import TrafficMatrix, apply_background, scale_background_to_utilization
+from repro.experiments.fig6_internet import ABILENE_POPULATION, abilene_internet_topology
+
+LinkKey = Tuple[str, str]
+
+
+def sweep_config(n_peers: int, rng_seed: int = 23) -> ComparisonConfig:
+    """Simulation-flavour parameters: batch arrival, broadband access."""
+    return ComparisonConfig(
+        n_peers=n_peers,
+        file_mbit=96.0,
+        block_mbit=2.0,
+        neighbors=20,
+        access_up_mbps=10.0,
+        access_down_mbps=20.0,
+        seed_up_mbps=100.0,
+        join_window=0.0,
+        sample_interval=1.0,
+        completion_quantum=0.1,
+        rng_seed=rng_seed,
+    )
+
+
+@dataclass
+class SweepPoint:
+    """One swarm size's results across schemes."""
+
+    swarm_size: int
+    mean_completion: Dict[str, float]
+    bottleneck_mbit: Dict[str, float]
+
+
+@dataclass
+class SweepResult:
+    """Figs. 7/8: the sweep series plus the largest-size timelines."""
+
+    topology_name: str
+    points: List[SweepPoint]
+    timelines: Dict[str, List[Tuple[float, float]]]
+
+    def series(self, scheme: str) -> List[Tuple[int, float]]:
+        """(swarm size, mean completion) series for one scheme."""
+        return [
+            (point.swarm_size, point.mean_completion[scheme])
+            for point in self.points
+        ]
+
+    def normalized_series(self, scheme: str) -> List[Tuple[int, float]]:
+        """Fig. 8a's normalization: divide by the native maximum."""
+        ceiling = max(
+            point.mean_completion["native"] for point in self.points
+        )
+        return [
+            (size, value / ceiling) for size, value in self.series(scheme)
+        ]
+
+    def improvement_percent(self, scheme: str = "p4p") -> float:
+        """Average completion-time improvement of ``scheme`` over native."""
+        gains = []
+        for point in self.points:
+            native = point.mean_completion["native"]
+            if native > 0:
+                gains.append(
+                    (native - point.mean_completion[scheme]) / native * 100.0
+                )
+        return sum(gains) / len(gains) if gains else 0.0
+
+
+def isp_a_topology(background_mlu: float = 0.9) -> Topology:
+    """ISP-A with gravity cross traffic scaled to a target MLU."""
+    topo = isp_a()
+    routing = RoutingTable.build(topo)
+    matrix = TrafficMatrix.gravity(topo, total_mbps=30_000.0, seed=5)
+    apply_background(topo, matrix, routing)
+    scale_background_to_utilization(topo, background_mlu)
+    return topo
+
+
+def run_sweep(
+    topology: Topology,
+    swarm_sizes: Sequence[int],
+    schemes: Sequence[str] = ("native", "localized", "p4p"),
+    rng_seed: int = 23,
+    placement_weights: Optional[Dict[str, float]] = None,
+) -> SweepResult:
+    """Run the scheme comparison at every swarm size."""
+    if not swarm_sizes:
+        raise ValueError("need at least one swarm size")
+    points: List[SweepPoint] = []
+    timelines: Dict[str, List[Tuple[float, float]]] = {}
+    largest = max(swarm_sizes)
+    for size in swarm_sizes:
+        config = sweep_config(size, rng_seed=rng_seed)
+        config.placement_weights = placement_weights
+        outcomes = run_comparison(topology, config, schemes=schemes)
+        points.append(
+            SweepPoint(
+                swarm_size=size,
+                mean_completion={
+                    scheme: outcome.mean_completion
+                    for scheme, outcome in outcomes.items()
+                },
+                bottleneck_mbit={
+                    scheme: outcome.bottleneck_traffic_mbit
+                    for scheme, outcome in outcomes.items()
+                },
+            )
+        )
+        if size == largest:
+            for scheme, outcome in outcomes.items():
+                timelines[scheme] = utilization_timeline(
+                    outcome.result.samples, link=outcome.bottleneck_link
+                )
+    return SweepResult(
+        topology_name=topology.name, points=points, timelines=timelines
+    )
+
+
+def run_fig7(
+    swarm_sizes: Sequence[int] = (100, 200, 300, 400),
+    rng_seed: int = 23,
+) -> SweepResult:
+    """Fig. 7: the sweep on Abilene (east-heavy placement, hot DC-NYC)."""
+    topo = abilene_internet_topology(background_mlu=0.9)
+    return run_sweep(
+        topo,
+        swarm_sizes,
+        rng_seed=rng_seed,
+        placement_weights=ABILENE_POPULATION,
+    )
+
+
+def run_fig8(
+    swarm_sizes: Sequence[int] = (100, 200, 300, 400),
+    rng_seed: int = 29,
+) -> SweepResult:
+    """Fig. 8: the same sweep on ISP-A (values normalized by native max)."""
+    topo = isp_a_topology(background_mlu=0.9)
+    return run_sweep(topo, swarm_sizes, rng_seed=rng_seed)

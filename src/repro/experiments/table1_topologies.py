@@ -1,0 +1,73 @@
+"""Table 1: summary of the networks evaluated.
+
+| Network | Region        | Aggregation    | #Nodes | #Links | Usage |
+|---------|---------------|----------------|--------|--------|-------|
+| Abilene | US            | router-level   | 11     | 28     | Internet experiments, simulation |
+| ISP-A   | US            | PoP-level      | 20     | -      | simulation |
+| ISP-B   | US            | PoP-level      | 52     | -      | Internet experiments |
+| ISP-C   | International | PoP-level      | 37     | -      | Internet experiments |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.network.generators import isp_a, isp_b, isp_c
+from repro.network.library import abilene
+
+
+@dataclass(frozen=True)
+class TopologyRow:
+    """One Table 1 row."""
+
+    network: str
+    region: str
+    aggregation_level: str
+    n_nodes: int
+    n_links: int
+    usage: str
+
+
+def run_table1() -> List[TopologyRow]:
+    """Build every evaluated topology and report its Table 1 row."""
+    rows = []
+    topo = abilene()
+    rows.append(
+        TopologyRow(
+            network="Abilene",
+            region="US",
+            aggregation_level="router-level",
+            n_nodes=len(topo.nodes),
+            n_links=len(topo.links),
+            usage="Internet experiments, simulation",
+        )
+    )
+    for builder, region, usage in (
+        (isp_a, "US", "simulation"),
+        (isp_b, "US", "Internet experiments"),
+        (isp_c, "International", "Internet experiments"),
+    ):
+        topo = builder()
+        rows.append(
+            TopologyRow(
+                network=topo.name,
+                region=region,
+                aggregation_level="PoP-level",
+                n_nodes=len(topo.nodes),
+                n_links=len(topo.links),
+                usage=usage,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: List[TopologyRow]) -> str:
+    header = f"{'Network':<9}{'Region':<15}{'Aggregation':<14}{'#Nodes':>7}{'#Links':>8}  Usage"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.network:<9}{row.region:<15}{row.aggregation_level:<14}"
+            f"{row.n_nodes:>7}{row.n_links:>8}  {row.usage}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""The P4P management plane (Sec. 3): monitoring the control plane.
+
+The paper's architecture includes a management plane whose objective is
+"to monitor the behavior in the control plane"; Sec. 4 additionally
+requires that network information "should be in a format that is easy for
+ISPs to prove, and independent applications to verify, that the ISPs are
+neutral".  This package implements both halves: control-plane monitors
+(price stability, update liveness) and the independent neutrality
+verifier.
+"""

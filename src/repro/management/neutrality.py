@@ -1,0 +1,177 @@
+"""Independent neutrality verification of a served p-distance view.
+
+The p4p-distance interface is designed so that applications can verify an
+ISP is neutral (Sec. 4): the external view must be explainable as
+*aggregated link costs* -- the same non-negative per-link price for every
+application, regardless of who asks.  Two checks implement that promise:
+
+* **consistency** -- does there exist a non-negative link-price assignment
+  ``{p_e >= 0}`` whose route sums reproduce the served ``p_ij`` (within a
+  tolerance covering the provider's declared privacy perturbation)?  If
+  not, the view cannot come from any per-link cost model and the provider
+  is discriminating at the pair level.
+* **equal treatment** -- two views served to different requesters must
+  agree (again within the declared perturbation); a provider quoting one
+  appTracker systematically higher distances than another is non-neutral.
+
+The consistency check is a small feasibility LP over the link prices,
+reusing the same machinery the provider itself would use -- "easy for ISPs
+to prove, and independent applications to verify".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.pdistance import PDistanceMap
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+from repro.optimization.linprog import InfeasibleError, LinearProgram
+
+LinkKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class NeutralityReport:
+    """Outcome of a consistency check.
+
+    Attributes:
+        consistent: Whether some non-negative link pricing explains the view.
+        max_residual: Worst absolute gap between served and reconstructed
+            ``p_ij`` under the best-fitting link prices.
+        tolerance: The slack the check allowed per pair.
+        link_prices: The reconstructed prices (best fit), when solvable.
+        worst_pair: The pair with the largest residual.
+    """
+
+    consistent: bool
+    max_residual: float
+    tolerance: float
+    link_prices: Optional[Dict[LinkKey, float]] = None
+    worst_pair: Optional[Tuple[str, str]] = None
+
+
+def verify_link_consistency(
+    view: PDistanceMap,
+    topology: Topology,
+    routing: RoutingTable,
+    tolerance: float = 1e-6,
+) -> NeutralityReport:
+    """Check a served view against the link-cost model.
+
+    Solves ``min r`` over link prices ``p_e >= 0`` and residual bound ``r``
+    subject to ``|sum_{e in route(i,j)} p_e - p_ij| <= r`` for every served
+    pair; the view is consistent when the optimal ``r`` is within
+    ``tolerance``.
+
+    Args:
+        view: The external view under audit.
+        topology: The audited provider's topology (PIDs must cover the
+            view's PIDs; link identities are enough -- prices are unknowns).
+        routing: Routing for the topology snapshot.
+        tolerance: Allowed per-pair slack, e.g. the provider's declared
+            privacy perturbation times the typical distance.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    pairs = [
+        (src, dst)
+        for src in view.pids
+        for dst in view.pids
+        if src != dst
+    ]
+    if not pairs:
+        raise ValueError("view has no pairs to verify")
+    for pid in view.pids:
+        if pid not in topology.nodes:
+            raise KeyError(f"view PID {pid!r} not in the audited topology")
+
+    lp = LinearProgram(name="neutrality")
+    for key in topology.links:
+        lp.add_var(f"p_{key[0]}_{key[1]}")
+    lp.add_var("r")
+    for src, dst in pairs:
+        served = view.distance(src, dst)
+        route = routing.route(src, dst)
+        coeffs = {f"p_{a}_{b}": 1.0 for a, b in route}
+        upper = dict(coeffs)
+        upper["r"] = -1.0
+        lp.add_le(upper, served)  # sum p_e - r <= served
+        lower = {name: -value for name, value in coeffs.items()}
+        lower["r"] = -1.0
+        lp.add_le(lower, -served)  # -sum p_e - r <= -served
+    lp.set_objective({"r": 1.0})
+    try:
+        solution = lp.solve()
+    except InfeasibleError:
+        return NeutralityReport(
+            consistent=False, max_residual=float("inf"), tolerance=tolerance
+        )
+
+    prices = {
+        key: max(0.0, solution[f"p_{key[0]}_{key[1]}"]) for key in topology.links
+    }
+    worst_pair = None
+    max_residual = 0.0
+    for src, dst in pairs:
+        reconstructed = sum(prices[key] for key in routing.route(src, dst))
+        residual = abs(reconstructed - view.distance(src, dst))
+        if residual > max_residual:
+            max_residual = residual
+            worst_pair = (src, dst)
+    return NeutralityReport(
+        consistent=max_residual <= tolerance + 1e-9,
+        max_residual=max_residual,
+        tolerance=tolerance,
+        link_prices=prices,
+        worst_pair=worst_pair,
+    )
+
+
+@dataclass(frozen=True)
+class EqualTreatmentReport:
+    """Comparison of views served to two different requesters."""
+
+    equal: bool
+    max_relative_gap: float
+    tolerance: float
+    worst_pair: Optional[Tuple[str, str]] = None
+
+
+def verify_equal_treatment(
+    view_a: PDistanceMap,
+    view_b: PDistanceMap,
+    relative_tolerance: float = 0.0,
+) -> EqualTreatmentReport:
+    """Check that two requesters were served equivalent views.
+
+    ``relative_tolerance`` should be (at least) twice the provider's
+    declared perturbation bound; larger systematic gaps indicate the
+    provider discriminates by requester.
+    """
+    if relative_tolerance < 0:
+        raise ValueError("relative_tolerance must be >= 0")
+    if set(view_a.pids) != set(view_b.pids):
+        return EqualTreatmentReport(
+            equal=False, max_relative_gap=float("inf"), tolerance=relative_tolerance
+        )
+    worst_pair = None
+    max_gap = 0.0
+    for src in view_a.pids:
+        for dst in view_a.pids:
+            if src == dst:
+                continue
+            a = view_a.distance(src, dst)
+            b = view_b.distance(src, dst)
+            scale = max(abs(a), abs(b), 1e-12)
+            gap = abs(a - b) / scale
+            if gap > max_gap:
+                max_gap = gap
+                worst_pair = (src, dst)
+    return EqualTreatmentReport(
+        equal=max_gap <= relative_tolerance + 1e-12,
+        max_relative_gap=max_gap,
+        tolerance=relative_tolerance,
+        worst_pair=worst_pair,
+    )

@@ -1,0 +1,40 @@
+"""Evaluation metrics (Sec. 7.1): completion time, unit BDP, bottleneck
+traffic, charging volume, and localization ratios."""
+
+from repro.metrics.bdp import mean_pid_pair_hops, unit_bdp, weighted_unit_bdp
+from repro.metrics.bottleneck import (
+    bottleneck_traffic,
+    high_load_duration,
+    most_utilized_link,
+    peak_utilization,
+    utilization_timeline,
+)
+from repro.metrics.charging import charging_volumes_from_samples, volumes_per_interval
+from repro.metrics.completion import (
+    completion_cdf,
+    excess_percent,
+    improvement_percent,
+    mean_completion,
+    percentile_completion,
+)
+from repro.metrics.localization import TrafficLedger, localization_ratio
+
+__all__ = [
+    "mean_pid_pair_hops",
+    "unit_bdp",
+    "weighted_unit_bdp",
+    "bottleneck_traffic",
+    "high_load_duration",
+    "most_utilized_link",
+    "peak_utilization",
+    "utilization_timeline",
+    "charging_volumes_from_samples",
+    "volumes_per_interval",
+    "completion_cdf",
+    "excess_percent",
+    "improvement_percent",
+    "mean_completion",
+    "percentile_completion",
+    "TrafficLedger",
+    "localization_ratio",
+]

@@ -1,0 +1,97 @@
+"""Terminal plotting: render CDFs and timelines without matplotlib.
+
+The evaluation figures are line charts; these helpers draw them as ASCII
+so examples and benchmark output remain self-contained in any terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+_MARKS = "*o+x#@"
+
+
+def ascii_plot(
+    series_by_name: Mapping[str, Series],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series on a shared-axis ASCII canvas.
+
+    Each series gets a distinct mark; overlapping points show the later
+    series' mark.  Returns the multi-line string (no trailing newline).
+    """
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    named = [(name, list(points)) for name, points in series_by_name.items()]
+    named = [(name, points) for name, points in named if points]
+    if not named:
+        raise ValueError("nothing to plot")
+
+    xs = [x for _, points in named for x, _ in points]
+    ys = [y for _, points in named for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(named):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in points:
+            column = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][column] = mark
+
+    lines = []
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(
+        " " * gutter
+        + f" {x_min:.3g}".ljust(width // 2)
+        + f"{x_max:.3g}".rjust(width // 2)
+    )
+    legend = "   ".join(
+        f"{_MARKS[index % len(_MARKS)]} {name}" for index, (name, _) in enumerate(named)
+    )
+    lines.append(" " * gutter + f" [{x_label} vs {y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    cdfs_by_name: Mapping[str, Series], width: int = 60, height: int = 14
+) -> str:
+    """Render completion-time CDFs (Figs. 6a/10a/12b style)."""
+    return ascii_plot(
+        cdfs_by_name, width=width, height=height,
+        x_label="completion time", y_label="cumulative fraction",
+    )
+
+
+def ascii_bars(values_by_name: Mapping[str, float], width: int = 48) -> str:
+    """Horizontal bars (Figs. 6b/9/12a style)."""
+    if not values_by_name:
+        raise ValueError("nothing to plot")
+    peak = max(values_by_name.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(name) for name in values_by_name)
+    lines = []
+    for name, value in values_by_name.items():
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(f"{name.rjust(label_width)} |{bar} {value:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Completion-time metrics: means, CDFs, percentage improvements."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+import numpy as np
+
+
+def mean_completion(times: Mapping[int, float]) -> float:
+    """Mean per-peer completion time; 0 for an empty swarm."""
+    if not times:
+        return 0.0
+    return float(np.mean(list(times.values())))
+
+
+def completion_cdf(times: Mapping[int, float]) -> List[Tuple[float, float]]:
+    """Sorted (time, cumulative fraction) pairs, as plotted in Figs. 6/10/12."""
+    ordered = sorted(times.values())
+    n = len(ordered)
+    return [(t, (i + 1) / n) for i, t in enumerate(ordered)]
+
+
+def percentile_completion(times: Mapping[int, float], q: float) -> float:
+    """q-quantile of the completion-time distribution (q in [0, 1])."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if not times:
+        raise ValueError("no completion times")
+    return float(np.quantile(list(times.values()), q))
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Percentage by which ``improved`` beats ``baseline``.
+
+    The paper reports "P4P improves average completion time by 23%" as
+    ``(baseline - improved) / baseline * 100``.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - improved) / baseline * 100.0
+
+
+def excess_percent(value: float, reference: float) -> float:
+    """How much higher ``value`` is than ``reference``, in percent.
+
+    The paper's "Native is 68% higher than P4P" form:
+    ``(value - reference) / reference * 100``.
+    """
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    return (value - reference) / reference * 100.0

@@ -1,0 +1,98 @@
+"""Traffic localization accounting (field tests: Tables 2 and 3).
+
+The field-test analysis classifies every transferred byte by where its two
+endpoints sit: external<->external, external->ISP, ISP->external, and
+within the ISP by metro area (same-metro vs cross-metro).  The
+:class:`TrafficLedger` accumulates those categories as the simulation
+reports transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+@dataclass
+class TrafficLedger:
+    """Byte accounting by endpoint category for one ISP.
+
+    Attributes:
+        isp_as: The AS number of the ISP under study (ISP-B in the paper).
+        metro_of: PID -> metro label for intra-ISP classification.
+    """
+
+    isp_as: int
+    metro_of: Mapping[str, str]
+    external_external: float = 0.0
+    external_to_isp: float = 0.0
+    isp_to_external: float = 0.0
+    intra_same_metro: float = 0.0
+    intra_cross_metro: float = 0.0
+
+    def record(
+        self,
+        src_pid: str,
+        src_as: int,
+        dst_pid: str,
+        dst_as: int,
+        mbit: float,
+    ) -> None:
+        """Account one transfer of ``mbit`` from src to dst."""
+        if mbit < 0:
+            raise ValueError("traffic cannot be negative")
+        src_in = src_as == self.isp_as
+        dst_in = dst_as == self.isp_as
+        if not src_in and not dst_in:
+            self.external_external += mbit
+        elif not src_in and dst_in:
+            self.external_to_isp += mbit
+        elif src_in and not dst_in:
+            self.isp_to_external += mbit
+        else:
+            if self.metro_of.get(src_pid) == self.metro_of.get(dst_pid):
+                self.intra_same_metro += mbit
+            else:
+                self.intra_cross_metro += mbit
+
+    @property
+    def intra_total(self) -> float:
+        """Total ISP-internal traffic (Table 3's "Total Traffic" row)."""
+        return self.intra_same_metro + self.intra_cross_metro
+
+    @property
+    def total(self) -> float:
+        return (
+            self.external_external
+            + self.external_to_isp
+            + self.isp_to_external
+            + self.intra_total
+        )
+
+    def localization_percent(self) -> float:
+        """Same-metro share of internal traffic (Table 3's "% of
+        Localization": 6.27% native vs 57.98% P4P)."""
+        if self.intra_total <= 0:
+            return 0.0
+        return self.intra_same_metro / self.intra_total * 100.0
+
+    def as_table(self) -> Dict[str, float]:
+        """Table 2 rows for this ledger."""
+        return {
+            "External <-> External": self.external_external,
+            "External -> ISP": self.external_to_isp,
+            "ISP -> External": self.isp_to_external,
+            "ISP <-> ISP": self.intra_total,
+            "Total": self.total,
+        }
+
+
+def localization_ratio(native: TrafficLedger, p4p: TrafficLedger) -> Dict[str, float]:
+    """Native : P4P ratios for each Table 2 row (``inf`` when P4P is 0)."""
+    ratios: Dict[str, float] = {}
+    native_table = native.as_table()
+    p4p_table = p4p.as_table()
+    for row, native_value in native_table.items():
+        p4p_value = p4p_table[row]
+        ratios[row] = native_value / p4p_value if p4p_value > 0 else float("inf")
+    return ratios

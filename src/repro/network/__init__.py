@@ -1,0 +1,2 @@
+"""Network substrate: PID-level topologies, routing, background traffic,
+the real Abilene backbone, synthetic ISP-A/B/C, and interdomain setups."""

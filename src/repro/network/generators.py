@@ -1,0 +1,248 @@
+"""Synthetic PoP-level topology generators for ISP-A, ISP-B and ISP-C.
+
+The paper evaluates P4P on proprietary tier-1 topologies: ISP-A (20 US PoPs),
+ISP-B (52 US PoPs, with metro-area structure and a mix of FTTP and DSL
+access), and ISP-C (37 international PoPs).  Those graphs are not public, so
+we generate structurally comparable ones: a two-level design with a small
+densely-meshed backbone core of hub PoPs and remaining PoPs dual-homed to
+their geographically nearest hubs.  This mirrors how tier-1 PoP-level maps
+look (e.g. Rocketfuel studies) and preserves everything the evaluation
+depends on: PoP count, metro grouping, distance structure, and a meaningful
+set of potential bottleneck trunks.
+
+All generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.topology import Node, NodeKind, Topology, great_circle_miles
+
+#: Major US metro anchors (lat, lon) used to place synthetic PoPs.
+US_METROS: Sequence[Tuple[str, float, float]] = (
+    ("NewYork", 40.71, -74.01),
+    ("LosAngeles", 34.05, -118.24),
+    ("Chicago", 41.88, -87.63),
+    ("Houston", 29.76, -95.37),
+    ("Phoenix", 33.45, -112.07),
+    ("Philadelphia", 39.95, -75.17),
+    ("SanAntonio", 29.42, -98.49),
+    ("SanDiego", 32.72, -117.16),
+    ("Dallas", 32.78, -96.80),
+    ("SanJose", 37.34, -121.89),
+    ("Austin", 30.27, -97.74),
+    ("Seattle", 47.61, -122.33),
+    ("Denver", 39.74, -104.99),
+    ("WashingtonDC", 38.91, -77.04),
+    ("Boston", 42.36, -71.06),
+    ("Atlanta", 33.75, -84.39),
+    ("Miami", 25.76, -80.19),
+    ("Minneapolis", 44.98, -93.27),
+    ("KansasCity", 39.10, -94.58),
+    ("SaltLakeCity", 40.76, -111.89),
+    ("Portland", 45.52, -122.68),
+    ("Charlotte", 35.23, -80.84),
+    ("Detroit", 42.33, -83.05),
+    ("StLouis", 38.63, -90.20),
+    ("Nashville", 36.16, -86.78),
+    ("Pittsburgh", 40.44, -79.99),
+)
+
+#: International metro anchors for ISP-C.
+WORLD_METROS: Sequence[Tuple[str, float, float]] = (
+    ("NewYork", 40.71, -74.01),
+    ("London", 51.51, -0.13),
+    ("Frankfurt", 50.11, 8.68),
+    ("Paris", 48.86, 2.35),
+    ("Amsterdam", 52.37, 4.90),
+    ("Tokyo", 35.68, 139.69),
+    ("HongKong", 22.32, 114.17),
+    ("Singapore", 1.35, 103.82),
+    ("Sydney", -33.87, 151.21),
+    ("SaoPaulo", -23.55, -46.63),
+    ("Toronto", 43.65, -79.38),
+    ("LosAngeles", 34.05, -118.24),
+    ("Chicago", 41.88, -87.63),
+    ("Madrid", 40.42, -3.70),
+    ("Milan", 45.46, 9.19),
+    ("Stockholm", 59.33, 18.07),
+    ("Seoul", 37.57, 126.98),
+    ("Mumbai", 19.08, 72.88),
+    ("Dubai", 25.20, 55.27),
+    ("Johannesburg", -26.20, 28.05),
+)
+
+
+def _jitter(rng: random.Random, lat: float, lon: float) -> Tuple[float, float]:
+    """Scatter a PoP around its metro anchor (~0.3 degrees)."""
+    return (lat + rng.uniform(-0.3, 0.3), lon + rng.uniform(-0.3, 0.3))
+
+
+def synthetic_isp(
+    name: str,
+    n_pops: int,
+    metros: Sequence[Tuple[str, float, float]],
+    n_hubs: int,
+    as_number: int,
+    seed: int,
+    backbone_capacity: float = 10_000.0,
+    spoke_capacity: float = 2_500.0,
+) -> Topology:
+    """Generate a two-level PoP topology.
+
+    PoPs are placed round-robin over metro anchors (so big metros get
+    several PoPs, as in ISP-B).  The first PoP of each of the ``n_hubs``
+    most populous metros is a hub; hubs are connected in a distance-greedy
+    ring plus chord mesh; every non-hub PoP is dual-homed to its two nearest
+    hubs.
+
+    Args:
+        name: Topology name.
+        n_pops: Number of aggregation PIDs.
+        metros: Candidate metro anchors ``(name, lat, lon)``.
+        n_hubs: Number of backbone hub PoPs (>= 3).
+        as_number: AS number assigned to every PID.
+        seed: RNG seed; same seed -> identical topology.
+        backbone_capacity: Hub-to-hub trunk capacity (Mbps).
+        spoke_capacity: PoP-to-hub uplink capacity (Mbps).
+    """
+    if n_hubs < 3:
+        raise ValueError("need at least 3 hubs for a backbone ring")
+    if n_pops < n_hubs:
+        raise ValueError("n_pops must be >= n_hubs")
+    rng = random.Random(seed)
+    topo = Topology(name=name)
+
+    pop_names: List[str] = []
+    for index in range(n_pops):
+        metro_name, lat, lon = metros[index % len(metros)]
+        ordinal = index // len(metros) + 1
+        pid = f"{metro_name}-{ordinal}"
+        topo.add_node(
+            Node(
+                pid=pid,
+                kind=NodeKind.AGGREGATION,
+                as_number=as_number,
+                metro=metro_name,
+                location=_jitter(rng, lat, lon),
+            )
+        )
+        pop_names.append(pid)
+
+    hubs = pop_names[:n_hubs]
+
+    # Backbone: nearest-neighbor ring over hubs, then chords to densify.
+    ring = _greedy_ring(topo, hubs)
+    for src, dst in zip(ring, ring[1:] + ring[:1]):
+        topo.add_edge(src, dst, capacity=backbone_capacity)
+    for i, src in enumerate(hubs):
+        for dst in hubs[i + 1:]:
+            if not topo.has_link(src, dst) and rng.random() < 0.3:
+                topo.add_edge(src, dst, capacity=backbone_capacity)
+
+    # Spokes: dual-home each non-hub PoP to its two nearest hubs.
+    for pid in pop_names[n_hubs:]:
+        loc = topo.node(pid).location
+        ranked = sorted(
+            hubs, key=lambda hub: great_circle_miles(loc, topo.node(hub).location)
+        )
+        for hub in ranked[:2]:
+            if not topo.has_link(pid, hub):
+                topo.add_edge(pid, hub, capacity=spoke_capacity)
+
+    # Metro rings: PoPs sharing a metro are directly connected (real PoP
+    # maps have short intra-metro trunks); this is what makes same-metro
+    # transfers one hop instead of a round trip through a hub.
+    by_metro: Dict[str, List[str]] = {}
+    for pid in pop_names:
+        by_metro.setdefault(topo.node(pid).metro, []).append(pid)
+    for pids in by_metro.values():
+        for a, b in zip(pids, pids[1:]):
+            if not topo.has_link(a, b):
+                topo.add_edge(a, b, capacity=spoke_capacity)
+
+    topo.assign_distances_from_locations()
+    # OSPF weights proportional to distance, so routing prefers short paths.
+    for link in topo.links.values():
+        link.ospf_weight = max(1.0, link.distance)
+    topo.validate()
+    return topo
+
+
+def _greedy_ring(topo: Topology, hubs: Sequence[str]) -> List[str]:
+    """Order hubs into a short ring via nearest-neighbor heuristic."""
+    remaining = list(hubs[1:])
+    ring = [hubs[0]]
+    while remaining:
+        last_loc = topo.node(ring[-1]).location
+        nxt = min(
+            remaining,
+            key=lambda pid: great_circle_miles(last_loc, topo.node(pid).location),
+        )
+        remaining.remove(nxt)
+        ring.append(nxt)
+    return ring
+
+
+def isp_a(seed: int = 1) -> Topology:
+    """ISP-A: 20 US PoPs (Table 1), used for the Fig. 8 simulations."""
+    return synthetic_isp(
+        name="ISP-A",
+        n_pops=20,
+        metros=US_METROS,
+        n_hubs=8,
+        as_number=64501,
+        seed=seed,
+    )
+
+
+def isp_b(seed: int = 2) -> Topology:
+    """ISP-B: 52 US PoPs with metro-area structure (field tests, Figs. 11-12).
+
+    With 26 metro anchors and 52 PoPs, every metro hosts exactly two PoPs,
+    giving the intra-metro vs cross-metro traffic split that Table 3 is
+    built on.
+    """
+    return synthetic_isp(
+        name="ISP-B",
+        n_pops=52,
+        metros=US_METROS,
+        n_hubs=10,
+        as_number=64502,
+        seed=seed,
+    )
+
+
+def isp_c(seed: int = 3) -> Topology:
+    """ISP-C: 37 international PoPs (Table 1)."""
+    return synthetic_isp(
+        name="ISP-C",
+        n_pops=37,
+        metros=WORLD_METROS,
+        n_hubs=10,
+        as_number=64503,
+        seed=seed,
+        backbone_capacity=40_000.0,
+    )
+
+
+def access_classes(
+    topology: Topology,
+    fttp_fraction: float = 0.3,
+    seed: int = 7,
+) -> Dict[str, str]:
+    """Assign an access class ("fttp" or "dsl") to each aggregation PID.
+
+    ISP-B's field test distinguishes Fiber-To-The-Premises clients (high
+    upload capacity) from DSL clients; the class is a property of the PoP's
+    dominant deployment in our model.
+    """
+    if not 0.0 <= fttp_fraction <= 1.0:
+        raise ValueError("fttp_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    pids = topology.aggregation_pids
+    n_fttp = round(len(pids) * fttp_fraction)
+    fttp_pids = set(rng.sample(pids, n_fttp))
+    return {pid: ("fttp" if pid in fttp_pids else "dsl") for pid in pids}

@@ -1,0 +1,79 @@
+"""Real network topologies used in the paper's evaluation.
+
+The Abilene (Internet2) backbone is public: 11 PoPs connected by 14
+bidirectional OC-192 (10 Gbps) trunks, i.e. 28 directed links -- matching
+Table 1 of the paper.  PoP coordinates let us derive link miles for the
+bandwidth-distance-product metric, and the motivating example's congested
+Washington D.C. -> New York City link is present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.network.topology import Node, NodeKind, Topology
+
+#: Abilene PoPs with (latitude, longitude).
+ABILENE_POPS: Dict[str, Tuple[float, float]] = {
+    "SEAT": (47.6062, -122.3321),   # Seattle
+    "SNVA": (37.3688, -122.0363),   # Sunnyvale
+    "LOSA": (34.0522, -118.2437),   # Los Angeles
+    "DNVR": (39.7392, -104.9903),   # Denver
+    "KSCY": (39.0997, -94.5786),    # Kansas City
+    "HSTN": (29.7604, -95.3698),    # Houston
+    "CHIN": (41.8781, -87.6298),    # Chicago
+    "IPLS": (39.7684, -86.1581),    # Indianapolis
+    "ATLA": (33.7490, -84.3880),    # Atlanta
+    "WASH": (38.9072, -77.0369),    # Washington D.C.
+    "NYCM": (40.7128, -74.0060),    # New York City
+}
+
+#: The 14 bidirectional Abilene trunks (28 directed links).
+ABILENE_EDGES = (
+    ("SEAT", "SNVA"),
+    ("SEAT", "DNVR"),
+    ("SNVA", "LOSA"),
+    ("SNVA", "DNVR"),
+    ("LOSA", "HSTN"),
+    ("DNVR", "KSCY"),
+    ("KSCY", "HSTN"),
+    ("KSCY", "IPLS"),
+    ("HSTN", "ATLA"),
+    ("ATLA", "IPLS"),
+    ("ATLA", "WASH"),
+    ("IPLS", "CHIN"),
+    ("CHIN", "NYCM"),
+    ("NYCM", "WASH"),
+)
+
+#: OC-192 trunk capacity in Mbps.
+ABILENE_CAPACITY_MBPS = 10_000.0
+
+#: The high-utilization link the paper's iTracker protects in Fig. 6.
+PROTECTED_LINK = ("WASH", "NYCM")
+
+
+def abilene(as_number: int = 11537) -> Topology:
+    """Build the Abilene backbone: 11 nodes, 28 directed links.
+
+    Link distances are great-circle miles between PoPs; OSPF weights are
+    uniform so routing is min-hop with deterministic tie-breaking (Abilene's
+    production weights were roughly distance-proportional; min-hop yields
+    the same routes for almost all pairs on this sparse topology).
+    """
+    topo = Topology(name="Abilene")
+    for pid, location in ABILENE_POPS.items():
+        topo.add_node(
+            Node(
+                pid=pid,
+                kind=NodeKind.AGGREGATION,
+                as_number=as_number,
+                metro=pid,
+                location=location,
+            )
+        )
+    for src, dst in ABILENE_EDGES:
+        topo.add_edge(src, dst, capacity=ABILENE_CAPACITY_MBPS)
+    topo.assign_distances_from_locations()
+    topo.validate()
+    return topo

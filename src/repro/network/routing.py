@@ -1,0 +1,167 @@
+"""OSPF-style shortest-path routing over a PID-level topology.
+
+The optimization framework needs, for every ordered PID pair ``(i, j)``:
+
+* the route, as a sequence of links;
+* the indicator ``I_e(i, j)`` -- whether link ``e`` lies on the route;
+* the end-to-end distance ``d_ij = sum(d_e for e on the route)``.
+
+Routes are computed with Dijkstra over OSPF weights.  Ties are broken
+deterministically (lexicographically smallest predecessor PID) so that
+repeated runs -- and therefore simulations and benchmarks -- are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.topology import Link, Topology
+
+LinkKey = Tuple[str, str]
+
+
+class NoRouteError(Exception):
+    """Raised when the topology has no path between two PIDs."""
+
+    def __init__(self, src: str, dst: str) -> None:
+        super().__init__(f"no route from {src!r} to {dst!r}")
+        self.src = src
+        self.dst = dst
+
+
+@dataclass
+class RoutingTable:
+    """All-pairs shortest-path routes for one topology.
+
+    The table is immutable with respect to the topology snapshot it was built
+    from; rebuild it after changing OSPF weights or the link set.
+    """
+
+    topology: Topology
+    _routes: Dict[Tuple[str, str], Tuple[LinkKey, ...]] = field(default_factory=dict)
+    _distance: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, topology: Topology) -> "RoutingTable":
+        table = cls(topology=topology)
+        for src in topology.nodes:
+            table._run_dijkstra(src)
+        return table
+
+    def _run_dijkstra(self, src: str) -> None:
+        topo = self.topology
+        dist: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, LinkKey] = {}
+        visited = set()
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        while heap:
+            d, pid = heapq.heappop(heap)
+            if pid in visited:
+                continue
+            visited.add(pid)
+            for link in topo.out_links(pid):
+                cand = d + link.ospf_weight
+                current = dist.get(link.dst)
+                if (
+                    current is None
+                    or cand < current - 1e-12
+                    or (abs(cand - current) <= 1e-12 and link.src < prev[link.dst][0])
+                ):
+                    dist[link.dst] = cand
+                    prev[link.dst] = link.key
+                    heapq.heappush(heap, (cand, link.dst))
+        for dst in visited:
+            if dst == src:
+                self._routes[(src, dst)] = ()
+                self._distance[(src, dst)] = 0.0
+                continue
+            hops: List[LinkKey] = []
+            at = dst
+            while at != src:
+                key = prev[at]
+                hops.append(key)
+                at = key[0]
+            hops.reverse()
+            self._routes[(src, dst)] = tuple(hops)
+            self._distance[(src, dst)] = sum(
+                topo.links[key].distance for key in hops
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> Tuple[LinkKey, ...]:
+        """The sequence of link keys from ``src`` to ``dst``.
+
+        Raises :class:`NoRouteError` when the pair is disconnected.
+        """
+        try:
+            return self._routes[(src, dst)]
+        except KeyError:
+            raise NoRouteError(src, dst) from None
+
+    def route_links(self, src: str, dst: str) -> List[Link]:
+        return [self.topology.links[key] for key in self.route(src, dst)]
+
+    def has_route(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._routes
+
+    def on_route(self, link_key: LinkKey, src: str, dst: str) -> bool:
+        """The route indicator ``I_e(i, j)``."""
+        return link_key in self.route(src, dst)
+
+    def distance(self, src: str, dst: str) -> float:
+        """End-to-end distance ``d_ij`` (sum of link distances on the route)."""
+        try:
+            return self._distance[(src, dst)]
+        except KeyError:
+            raise NoRouteError(src, dst) from None
+
+    def hop_count(self, src: str, dst: str) -> int:
+        """Number of backbone links on the route."""
+        return len(self.route(src, dst))
+
+    def path_pids(self, src: str, dst: str) -> List[str]:
+        """PIDs visited along the route, endpoints included."""
+        pids = [src]
+        for _, hop_dst in self.route(src, dst):
+            pids.append(hop_dst)
+        return pids
+
+    def indicator_matrix(
+        self, pids: Optional[Sequence[str]] = None
+    ) -> Dict[LinkKey, Dict[Tuple[str, str], int]]:
+        """``I_e(i, j)`` for every link over the given PID pairs.
+
+        Args:
+            pids: PIDs to enumerate pairs over; defaults to all aggregation
+                PIDs of the topology.
+
+        Returns:
+            Mapping from link key to ``{(i, j): 1}`` for pairs whose route
+            traverses the link (absent pairs are 0).
+        """
+        if pids is None:
+            pids = self.topology.aggregation_pids
+        matrix: Dict[LinkKey, Dict[Tuple[str, str], int]] = {
+            key: {} for key in self.topology.links
+        }
+        for src in pids:
+            for dst in pids:
+                if src == dst:
+                    continue
+                for key in self.route(src, dst):
+                    matrix[key][(src, dst)] = 1
+        return matrix
+
+    def pairs_using(self, link_key: LinkKey, pids: Optional[Sequence[str]] = None):
+        """Ordered PID pairs whose route traverses ``link_key``."""
+        if pids is None:
+            pids = self.topology.aggregation_pids
+        return [
+            (src, dst)
+            for src in pids
+            for dst in pids
+            if src != dst and link_key in self.route(src, dst)
+        ]

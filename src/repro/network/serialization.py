@@ -1,0 +1,112 @@
+"""Topology (de)serialization: JSON documents for operator tooling.
+
+Providers maintain their internal view in provisioning systems; a stable
+on-disk format lets operators version topologies, diff them, and feed the
+same file to the iTracker and to offline analysis.  The format is a plain
+JSON object with ``nodes`` and ``links`` arrays mirroring the
+:class:`~repro.network.topology.Topology` model exactly (lossless round
+trip).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.network.topology import Link, Node, NodeKind, Topology
+
+FORMAT_VERSION = 1
+
+
+class TopologyFormatError(Exception):
+    """Malformed or unsupported topology document."""
+
+
+def topology_to_document(topology: Topology) -> Dict[str, Any]:
+    """Serialize a topology to a JSON-compatible document."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": topology.name,
+        "nodes": [
+            {
+                "pid": node.pid,
+                "kind": node.kind.value,
+                "as_number": node.as_number,
+                "metro": node.metro,
+                "location": list(node.location) if node.location else None,
+            }
+            for node in topology.nodes.values()
+        ],
+        "links": [
+            {
+                "src": link.src,
+                "dst": link.dst,
+                "capacity": link.capacity,
+                "background": link.background,
+                "distance": link.distance,
+                "ospf_weight": link.ospf_weight,
+                "interdomain": link.interdomain,
+                "virtual_capacity": link.virtual_capacity,
+            }
+            for link in topology.links.values()
+        ],
+    }
+
+
+def topology_from_document(document: Dict[str, Any]) -> Topology:
+    """Rebuild a topology from a document; validates on the way in."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TopologyFormatError(f"unsupported format version {version!r}")
+    try:
+        topology = Topology(name=document.get("name", "network"))
+        for entry in document["nodes"]:
+            location = entry.get("location")
+            topology.add_node(
+                Node(
+                    pid=entry["pid"],
+                    kind=NodeKind(entry.get("kind", "aggregation")),
+                    as_number=int(entry.get("as_number", 0)),
+                    metro=entry.get("metro", ""),
+                    location=tuple(location) if location else None,
+                )
+            )
+        for entry in document["links"]:
+            topology.add_link(
+                Link(
+                    src=entry["src"],
+                    dst=entry["dst"],
+                    capacity=float(entry["capacity"]),
+                    background=float(entry.get("background", 0.0)),
+                    distance=float(entry.get("distance", 1.0)),
+                    ospf_weight=float(entry.get("ospf_weight", 1.0)),
+                    interdomain=bool(entry.get("interdomain", False)),
+                    virtual_capacity=(
+                        None
+                        if entry.get("virtual_capacity") is None
+                        else float(entry["virtual_capacity"])
+                    ),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TopologyFormatError(f"bad topology document: {exc}") from exc
+    topology.validate()
+    return topology
+
+
+def save_topology(topology: Topology, path: Union[str, Path]) -> None:
+    """Write a topology document to ``path`` (pretty-printed JSON)."""
+    document = topology_to_document(topology)
+    Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def load_topology(path: Union[str, Path]) -> Topology:
+    """Read a topology document from ``path``."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TopologyFormatError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise TopologyFormatError("topology document must be a JSON object")
+    return topology_from_document(document)

@@ -1,0 +1,171 @@
+"""Background-traffic generation: diurnal patterns and 5-minute volumes.
+
+The interdomain charging experiments (Fig. 10) and the iTracker's
+charging-volume predictor (Sec. 6.1) consume historical 5-minute traffic
+volume series, which the paper takes from Abilene NOC traces.  We generate
+synthetic but realistic series: a diurnal sinusoid with a configurable
+peak-to-trough ratio, day-scale weekly modulation, and lognormal noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+#: Seconds per charging interval in the 95th-percentile model.
+INTERVAL_SECONDS = 300
+
+#: Intervals per day (24h of 5-minute samples).
+INTERVALS_PER_DAY = 24 * 60 * 60 // INTERVAL_SECONDS
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Parameters of a synthetic diurnal traffic pattern.
+
+    Attributes:
+        mean_mbps: Mean traffic rate over a full day.
+        peak_to_trough: Ratio of the daily peak rate to the trough rate.
+        peak_hour: Local hour (0-24) at which the sinusoid peaks.
+        weekend_factor: Multiplier applied on days 5 and 6 of each week.
+        noise_sigma: Sigma of multiplicative lognormal noise per interval.
+    """
+
+    mean_mbps: float = 1000.0
+    peak_to_trough: float = 3.0
+    peak_hour: float = 20.0
+    weekend_factor: float = 0.8
+    noise_sigma: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.mean_mbps <= 0:
+            raise ValueError("mean_mbps must be positive")
+        if self.peak_to_trough < 1:
+            raise ValueError("peak_to_trough must be >= 1")
+
+    def rate_at(self, interval: int) -> float:
+        """Deterministic (noise-free) rate in Mbps at a 5-minute interval."""
+        hour = (interval % INTERVALS_PER_DAY) * 24.0 / INTERVALS_PER_DAY
+        day = interval // INTERVALS_PER_DAY
+        # Sinusoid scaled so max/min = peak_to_trough and mean = mean_mbps.
+        amplitude = (self.peak_to_trough - 1.0) / (self.peak_to_trough + 1.0)
+        phase = 2.0 * math.pi * (hour - self.peak_hour) / 24.0
+        rate = self.mean_mbps * (1.0 + amplitude * math.cos(phase))
+        if day % 7 in (5, 6):
+            rate *= self.weekend_factor
+        return rate
+
+
+def generate_volume_series(
+    profile: DiurnalProfile,
+    n_intervals: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """5-minute traffic *volumes* (Mbit per interval) for ``n_intervals``.
+
+    Volumes are rates integrated over the interval with lognormal noise,
+    matching the per-interval byte counts a percentile-billing provider
+    records.
+    """
+    if n_intervals <= 0:
+        raise ValueError("n_intervals must be positive")
+    rng = np.random.default_rng(seed)
+    rates = np.array([profile.rate_at(i) for i in range(n_intervals)])
+    if profile.noise_sigma > 0:
+        noise = rng.lognormal(
+            mean=-profile.noise_sigma**2 / 2.0,
+            sigma=profile.noise_sigma,
+            size=n_intervals,
+        )
+        rates = rates * noise
+    return rates * INTERVAL_SECONDS
+
+
+@dataclass
+class TrafficMatrix:
+    """A static PID-to-PID demand matrix in Mbps.
+
+    Used to seed link background traffic: routing the matrix over the
+    topology yields per-link ``b_e`` values.
+    """
+
+    demands: Dict[tuple, float]
+
+    @classmethod
+    def gravity(
+        cls,
+        topology: Topology,
+        total_mbps: float,
+        seed: int = 0,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> "TrafficMatrix":
+        """Gravity-model demand: ``t_ij`` proportional to ``w_i * w_j``.
+
+        Args:
+            topology: Source of the PID set.
+            total_mbps: Total demand across all ordered pairs.
+            seed: Seed for random PID weights when ``weights`` is None.
+            weights: Optional explicit per-PID mass.
+        """
+        pids = topology.aggregation_pids
+        if len(pids) < 2:
+            raise ValueError("gravity model needs at least two PIDs")
+        if weights is None:
+            rng = np.random.default_rng(seed)
+            mass = {pid: float(w) for pid, w in zip(pids, rng.uniform(0.5, 2.0, len(pids)))}
+        else:
+            mass = dict(weights)
+        norm = sum(
+            mass[i] * mass[j] for i in pids for j in pids if i != j
+        )
+        demands = {
+            (i, j): total_mbps * mass[i] * mass[j] / norm
+            for i in pids
+            for j in pids
+            if i != j
+        }
+        return cls(demands=demands)
+
+    def total(self) -> float:
+        return sum(self.demands.values())
+
+
+def apply_background(topology: Topology, matrix: TrafficMatrix, routing) -> None:
+    """Route a demand matrix and add the load to each link's ``background``.
+
+    Args:
+        topology: Mutated in place.
+        matrix: PID-to-PID demands in Mbps.
+        routing: A :class:`repro.network.routing.RoutingTable` for the
+            topology.
+    """
+    for (src, dst), mbps in matrix.demands.items():
+        for link in routing.route_links(src, dst):
+            link.background += mbps
+
+
+def scale_background_to_utilization(
+    topology: Topology, target_max_utilization: float
+) -> float:
+    """Scale all links' background traffic so the max utilization hits a target.
+
+    Returns the scale factor applied.  Useful to construct scenarios with a
+    known pre-P4P MLU.
+    """
+    if not 0.0 < target_max_utilization < 1.0:
+        raise ValueError("target_max_utilization must be in (0, 1)")
+    current = max(
+        (link.background / link.capacity for link in topology.links.values()),
+        default=0.0,
+    )
+    if current <= 0.0:
+        raise ValueError("topology has no background traffic to scale")
+    factor = target_max_utilization / current
+    for link in topology.links.values():
+        link.background *= factor
+    return factor

@@ -1,0 +1,2 @@
+"""Numerical substrate: LP modelling over HiGHS, max-min fair allocation
+with per-flow rate caps, and exact weighted-simplex projection."""

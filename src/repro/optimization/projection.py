@@ -1,0 +1,79 @@
+"""Exact projection onto the weighted simplex used by the p-distance update.
+
+The projected super-gradient update (eq. 14 in the paper) projects the
+candidate price vector onto::
+
+    S = { p : sum_e c_e * p_e = 1,  p_e >= 0 }
+
+The Euclidean projection of ``q`` onto ``S`` has the KKT form
+``p_e = max(0, q_e - lam * c_e)`` where ``lam`` solves
+``sum_e c_e * max(0, q_e - lam * c_e) = 1``.  That equation is piecewise
+linear and decreasing in ``lam``, so we solve it exactly by sorting the
+breakpoints ``q_e / c_e`` -- an O(n log n) algorithm with no iteration
+tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def project_weighted_simplex(q: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Euclidean projection of ``q`` onto ``{p >= 0 : c . p = 1}``.
+
+    Args:
+        q: Point to project, shape (n,).
+        c: Positive weights (link capacities), shape (n,).
+
+    Returns:
+        The projected vector ``p`` with ``p >= 0`` and ``c @ p == 1`` (to
+        floating-point accuracy).
+
+    Raises:
+        ValueError: On shape mismatch or non-positive weights.
+    """
+    q = np.asarray(q, dtype=float)
+    c = np.asarray(c, dtype=float)
+    if q.shape != c.shape or q.ndim != 1:
+        raise ValueError("q and c must be 1-D arrays of the same shape")
+    if q.size == 0:
+        raise ValueError("cannot project an empty vector")
+    if np.any(c <= 0):
+        raise ValueError("weights must be strictly positive")
+
+    # Breakpoints where coordinates leave the active set, descending.
+    ratios = q / c
+    order = np.argsort(ratios)[::-1]
+    cq = (c * q)[order]
+    cc = (c * c)[order]
+    cum_cq = np.cumsum(cq)
+    cum_cc = np.cumsum(cc)
+    sorted_ratios = ratios[order]
+
+    # With the k+1 largest-ratio coordinates active,
+    # g(lam) = cum_cq[k] - lam * cum_cc[k]; solve g(lam) = 1.
+    lam_candidates = (cum_cq - 1.0) / cum_cc
+    n = q.size
+    lam = lam_candidates[-1]
+    for k in range(n):
+        lower = sorted_ratios[k + 1] if k + 1 < n else -np.inf
+        if lower <= lam_candidates[k] <= sorted_ratios[k] + 1e-12:
+            lam = lam_candidates[k]
+            break
+    p = np.maximum(0.0, q - lam * c)
+    # One exact rescale guards against accumulated round-off.
+    total = float(c @ p)
+    if total > 0:
+        p /= total
+    return p
+
+
+def uniform_price(c: np.ndarray) -> np.ndarray:
+    """The uniform feasible point of ``S``: ``p_e = 1 / sum(c)``.
+
+    A natural initialization for the super-gradient loop.
+    """
+    c = np.asarray(c, dtype=float)
+    if np.any(c <= 0):
+        raise ValueError("weights must be strictly positive")
+    return np.full(c.shape, 1.0 / float(c.sum()))

@@ -1,0 +1,1 @@
+"""The P4P portal wire layer: protocol, server, client, discovery."""

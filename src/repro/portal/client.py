@@ -1,0 +1,142 @@
+"""Portal client: how appTrackers and peers query iTrackers remotely.
+
+:class:`PortalClient` speaks the JSON wire protocol to one portal server
+and caches the p-distance view until the server's version changes (the
+scalability requirement of Sec. 4: aggregated information, cacheable, no
+per-client queries).
+
+:class:`Integrator` aggregates several portals -- the paper's "integrator
+that aggregates the information from multiple iTrackers to interact with
+applications" -- exposing the per-AS view mapping that
+:class:`~repro.apptracker.selection.P4PSelection` consumes.
+
+:func:`discover_itracker` emulates the DNS SRV discovery convention
+(``p4p`` symbolic name) with an in-process registry.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.pdistance import PDistanceMap
+from repro.core.policy import NetworkPolicy
+from repro.portal import protocol
+
+
+class PortalClientError(Exception):
+    """Server returned an error or the connection failed."""
+
+
+class PortalClient:
+    """A connection to one iTracker portal."""
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
+        self._address = (host, port)
+        self._sock = socket.create_connection(self._address, timeout=timeout)
+        self._cached_view: Optional[PDistanceMap] = None
+        self._cached_version: Optional[int] = None
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "PortalClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, method: str, **params: Any) -> Any:
+        try:
+            self._sock.sendall(protocol.encode_frame(protocol.request(method, **params)))
+            response = protocol.read_frame(self._sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            raise PortalClientError(f"transport failure: {exc}") from exc
+        if response is None:
+            raise PortalClientError("server closed the connection")
+        if "error" in response:
+            raise PortalClientError(response["error"])
+        return response.get("result")
+
+    # -- interface methods -----------------------------------------------------
+
+    def get_version(self) -> int:
+        return int(self._call("get_version")["version"])
+
+    def get_pdistances(self, pids: Optional[List[str]] = None) -> PDistanceMap:
+        """Fetch the external view; full views are cached by version."""
+        if pids is None:
+            version = self.get_version()
+            if self._cached_view is not None and version == self._cached_version:
+                return self._cached_view
+            view = protocol.pdistance_from_wire(self._call("get_pdistances"))
+            self._cached_view = view
+            self._cached_version = version
+            return view
+        return protocol.pdistance_from_wire(self._call("get_pdistances", pids=list(pids)))
+
+    def get_policy(self) -> NetworkPolicy:
+        return NetworkPolicy.from_document(self._call("get_policy"))
+
+    def get_capabilities(self, requester: str, **filters: Any) -> List[Dict[str, Any]]:
+        return self._call("get_capabilities", requester=requester, **filters)
+
+    def lookup_pid(self, ip: str) -> Tuple[str, int]:
+        result = self._call("lookup_pid", ip=ip)
+        return result["pid"], int(result["as"])
+
+    def get_alto_costmap(self, mode: str = "numerical") -> Dict[str, Any]:
+        """The p-distance view as an ALTO cost-map document."""
+        return self._call("get_alto_costmap", mode=mode)
+
+    def get_alto_networkmap(self) -> Dict[str, Any]:
+        """The PID map as an ALTO network-map document."""
+        return self._call("get_alto_networkmap")
+
+
+@dataclass
+class Integrator:
+    """Aggregates several portals into the per-AS view map P4P selection uses."""
+
+    portals: Dict[int, PortalClient] = field(default_factory=dict)
+
+    def add(self, as_number: int, client: PortalClient) -> None:
+        self.portals[as_number] = client
+
+    def views(self) -> Dict[int, PDistanceMap]:
+        """One external view per AS; portals that fail are skipped (iTrackers
+        are not on the critical path)."""
+        collected: Dict[int, PDistanceMap] = {}
+        for as_number, client in self.portals.items():
+            try:
+                collected[as_number] = client.get_pdistances()
+            except PortalClientError:
+                continue
+        return collected
+
+    def close(self) -> None:
+        for client in self.portals.values():
+            client.close()
+
+
+#: In-process stand-in for DNS SRV records (domain -> portal address).
+_SRV_REGISTRY: Dict[str, Tuple[str, int]] = {}
+
+
+def register_itracker(domain: str, host: str, port: int) -> None:
+    """Publish a portal address under a domain (the ``p4p`` SRV record)."""
+    _SRV_REGISTRY[domain] = (host, port)
+
+
+def discover_itracker(domain: str) -> Tuple[str, int]:
+    """Resolve a domain's iTracker address; raises ``KeyError`` if absent."""
+    return _SRV_REGISTRY[domain]
+
+
+def clear_registry() -> None:
+    """Testing helper: drop all registered SRV records."""
+    _SRV_REGISTRY.clear()

@@ -1,0 +1,119 @@
+"""Gossip distribution of p-distance views among peers (Sec. 3).
+
+"In both cases, peers can also help the information distribution (e.g.,
+via gossips)": instead of every peer querying the portal, a few peers
+fetch the view and the swarm spreads it epidemically.  Views are
+versioned (the iTracker's version counter); a peer adopts a gossiped view
+only if it is newer than the one it holds, so the swarm converges to the
+latest version even with stale copies circulating.
+
+The protocol is a standard push gossip: each round, every infected peer
+forwards its view to ``fanout`` random neighbors.  With fanout f over n
+peers, full coverage takes ~log_f(n) rounds -- the property the
+convergence test pins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pdistance import PDistanceMap
+
+
+@dataclass(frozen=True)
+class VersionedView:
+    """A p-distance view stamped with its iTracker version."""
+
+    version: int
+    view: PDistanceMap
+
+    def __post_init__(self) -> None:
+        if self.version < 0:
+            raise ValueError("version must be >= 0")
+
+
+@dataclass
+class GossipPeer:
+    """One peer's gossip state: the freshest view it has seen."""
+
+    peer_id: int
+    held: Optional[VersionedView] = None
+
+    def offer(self, incoming: VersionedView) -> bool:
+        """Adopt ``incoming`` if strictly newer; returns True on adoption."""
+        if self.held is None or incoming.version > self.held.version:
+            self.held = incoming
+            return True
+        return False
+
+    @property
+    def version(self) -> Optional[int]:
+        return self.held.version if self.held else None
+
+
+@dataclass
+class GossipSwarm:
+    """Push-gossip over a fixed peer population.
+
+    Attributes:
+        peers: Participants, keyed by id.
+        fanout: Targets each infected peer pushes to per round.
+    """
+
+    fanout: int = 3
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.peers: Dict[int, GossipPeer] = {}
+
+    def add_peer(self, peer_id: int) -> GossipPeer:
+        if peer_id in self.peers:
+            raise ValueError(f"duplicate peer {peer_id}")
+        peer = GossipPeer(peer_id=peer_id)
+        self.peers[peer_id] = peer
+        return peer
+
+    def seed(self, peer_id: int, view: VersionedView) -> None:
+        """Inject a freshly-fetched view at one peer (the portal query)."""
+        self.peers[peer_id].offer(view)
+
+    def run_round(self, rng: random.Random) -> int:
+        """One synchronous push round; returns the number of adoptions."""
+        if not self.peers:
+            return 0
+        ids = list(self.peers)
+        pushes: List[Tuple[int, VersionedView]] = []
+        for peer in self.peers.values():
+            if peer.held is None:
+                continue
+            for target in rng.sample(ids, min(self.fanout, len(ids))):
+                if target != peer.peer_id:
+                    pushes.append((target, peer.held))
+        adoptions = 0
+        for target, view in pushes:
+            if self.peers[target].offer(view):
+                adoptions += 1
+        return adoptions
+
+    def run_until_converged(
+        self, rng: random.Random, max_rounds: int = 100
+    ) -> int:
+        """Gossip until no adoptions occur; returns rounds used."""
+        for round_index in range(1, max_rounds + 1):
+            if self.run_round(rng) == 0:
+                return round_index
+        return max_rounds
+
+    def coverage(self, version: int) -> float:
+        """Fraction of peers holding at least ``version``."""
+        if not self.peers:
+            return 0.0
+        covered = sum(
+            1
+            for peer in self.peers.values()
+            if peer.version is not None and peer.version >= version
+        )
+        return covered / len(self.peers)

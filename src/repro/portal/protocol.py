@@ -1,0 +1,104 @@
+"""Wire protocol for the P4P portal.
+
+The paper defines the iTracker interfaces in WSDL and serves them over
+SOAP; the transport is incidental to the architecture, so this
+implementation uses length-prefixed JSON messages -- trivially debuggable
+and dependency-free.  A request is a JSON object with a ``method`` and
+``params``; a response carries ``result`` or ``error``.
+
+Frame format: 4-byte big-endian payload length, then UTF-8 JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional
+
+from repro.core.pdistance import PDistanceMap
+
+_HEADER = struct.Struct(">I")
+
+#: Maximum accepted frame size (guards against garbage input).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Malformed frame or message."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame too large")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF before a header."""
+    header = _read_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    payload = _read_exact(sock, length, allow_eof=False)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def _read_exact(
+    sock: socket.socket, n: int, allow_eof: bool
+) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- object (de)serialization ---------------------------------------------------
+
+
+def pdistance_to_wire(view: PDistanceMap) -> Dict[str, Any]:
+    return {
+        "pids": list(view.pids),
+        "distances": [
+            [src, dst, value] for (src, dst), value in view.distances.items()
+        ],
+    }
+
+
+def pdistance_from_wire(document: Dict[str, Any]) -> PDistanceMap:
+    try:
+        pids = tuple(document["pids"])
+        distances = {
+            (src, dst): float(value) for src, dst, value in document["distances"]
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad p-distance document: {exc}") from exc
+    return PDistanceMap(pids=pids, distances=distances)
+
+
+def request(method: str, **params: Any) -> Dict[str, Any]:
+    return {"method": method, "params": params}
+
+
+def ok(result: Any) -> Dict[str, Any]:
+    return {"result": result}
+
+
+def error(message: str) -> Dict[str, Any]:
+    return {"error": message}

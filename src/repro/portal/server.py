@@ -1,0 +1,156 @@
+"""The iTracker portal server: serves the P4P interfaces over sockets.
+
+One :class:`PortalServer` fronts one :class:`~repro.core.itracker.ITracker`.
+It is a small threaded TCP server speaking the length-prefixed JSON protocol
+of :mod:`repro.portal.protocol`; each connection may issue any number of
+requests.  Methods mirror the iTracker interfaces:
+
+* ``get_pdistances`` (params: optional ``pids``) -- the p4p-distance view;
+* ``get_policy`` -- the policy document;
+* ``get_capabilities`` (params: ``requester``, optional ``kind``/``pid``);
+* ``lookup_pid`` (params: ``ip``) -- client IP -> (PID, AS);
+* ``get_version`` -- the price-state version for cache validation;
+* ``get_alto_costmap`` / ``get_alto_networkmap`` -- the same state in ALTO
+  (RFC 7285) document form for interoperability with ALTO clients.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Tuple
+
+from repro.core.capability import AccessDeniedError, CapabilityKind
+from repro.core.itracker import ITracker
+from repro.portal import protocol
+
+
+class PortalRequestError(Exception):
+    """A request that is well-formed but unservable (bad method/params)."""
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        server: "PortalServer" = self.server.portal  # type: ignore[attr-defined]
+        while True:
+            try:
+                message = protocol.read_frame(self.request)
+            except protocol.ProtocolError:
+                break
+            if message is None:
+                break
+            response = server.dispatch(message)
+            try:
+                self.request.sendall(protocol.encode_frame(response))
+            except OSError:
+                break
+
+
+class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class PortalServer:
+    """Serve one iTracker on a host/port until :meth:`close`."""
+
+    def __init__(self, itracker: ITracker, host: str = "127.0.0.1", port: int = 0):
+        self.itracker = itracker
+        self._server = _ThreadedTcpServer((host, port), _Handler)
+        self._server.portal = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="p4p-portal", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> "PortalServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one request message to the iTracker; never raises."""
+        method = message.get("method")
+        params = message.get("params") or {}
+        if not isinstance(params, dict):
+            return protocol.error("params must be an object")
+        try:
+            handler = getattr(self, f"_do_{method}", None)
+            if handler is None:
+                raise PortalRequestError(f"unknown method {method!r}")
+            return protocol.ok(handler(params))
+        except (PortalRequestError, AccessDeniedError, KeyError, ValueError) as exc:
+            return protocol.error(str(exc))
+
+    def _do_get_pdistances(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        pids = params.get("pids")
+        view = self.itracker.get_pdistances(pids=pids)
+        return protocol.pdistance_to_wire(view)
+
+    def _do_get_policy(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return self.itracker.get_policy().to_document()
+
+    def _do_get_capabilities(self, params: Dict[str, Any]):
+        requester = params.get("requester")
+        if not requester:
+            raise PortalRequestError("requester is required")
+        filters: Dict[str, Any] = {}
+        if "kind" in params:
+            filters["kind"] = CapabilityKind(params["kind"])
+        if "pid" in params:
+            filters["pid"] = params["pid"]
+        if "content_id" in params:
+            filters["content_id"] = params["content_id"]
+        capabilities = self.itracker.get_capabilities(requester, **filters)
+        return [
+            {
+                "kind": capability.kind.value,
+                "pid": capability.pid,
+                "capacity_mbps": capability.capacity_mbps,
+                "name": capability.name,
+            }
+            for capability in capabilities
+        ]
+
+    def _do_lookup_pid(self, params: Dict[str, Any]):
+        ip = params.get("ip")
+        if not ip:
+            raise PortalRequestError("ip is required")
+        try:
+            pid, as_number = self.itracker.lookup_pid(ip)
+        except RuntimeError as exc:
+            raise PortalRequestError(str(exc)) from exc
+        return {"pid": pid, "as": as_number}
+
+    def _do_get_version(self, params: Dict[str, Any]):
+        return {"version": self.itracker.version}
+
+    def _do_get_alto_costmap(self, params: Dict[str, Any]):
+        from repro.portal import alto
+
+        mode = params.get("mode", alto.NUMERICAL)
+        view = self.itracker.get_pdistances(pids=params.get("pids"))
+        return alto.cost_map_document(
+            view, mode=mode, map_vtag=f"p4p-{self.itracker.version}"
+        )
+
+    def _do_get_alto_networkmap(self, params: Dict[str, Any]):
+        from repro.portal import alto
+
+        if self.itracker.pid_map is None:
+            raise PortalRequestError("iTracker has no PID map provisioned")
+        return alto.network_map_from_pidmap(
+            self.itracker.pid_map, map_vtag=f"p4p-{self.itracker.version}"
+        )

@@ -1,0 +1,4 @@
+"""Discrete-event P2P simulator following the paper's Sec. 7.1 methodology:
+session-level TCP over max-min shared fluid flows, BitTorrent swarms,
+Liveswarms streaming, parallel swarms over one shared network, and the
+scaled Pando field test."""

@@ -1,0 +1,252 @@
+"""Session-level TCP model: flows share links max-min fairly (Sec. 7.1).
+
+Following the paper (which follows Bharambe et al. and Bindal et al.), TCP
+is modelled at the session level: the throughput of each active transfer is
+its max-min fair share of the links it crosses, recomputed whenever a
+transfer starts or finishes.  Per-link byte counters are maintained so the
+evaluation metrics (bottleneck traffic, utilization timelines, unit BDP)
+can be derived.
+
+Implementation note: between rate recomputations the per-flow remaining
+sizes live in a numpy array (the *canonical* state) so advancing the clock
+is a vectorized operation; the per-flow objects are flushed from the array
+whenever the flow set changes.  This keeps simulations with thousands of
+concurrent transfers cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.optimization.maxmin import _build_entries, _progressive_fill
+
+LinkKey = Tuple[str, str]
+
+_DONE_EPS = 1e-6
+
+
+@dataclass
+class Flow:
+    """One in-flight transfer."""
+
+    flow_id: int
+    link_indices: Tuple[int, ...]
+    remaining_mbit: float
+    meta: object = None
+    rate: float = 0.0
+    rate_cap: float = float("inf")
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining_mbit <= _DONE_EPS
+
+
+class FlowNetwork:
+    """Active transfers over a capacitated link set.
+
+    Usage: register links up front (``add_link``), then ``start_flow`` /
+    ``advance`` / ``pop_finished`` under an external clock.  Rates are
+    recomputed lazily -- flow churn marks the network dirty and the next
+    query recomputes -- so one recompute covers a whole batch of same-time
+    events.
+    """
+
+    def __init__(self) -> None:
+        self._capacities: List[float] = []
+        self._link_names: List[object] = []
+        self._link_index: Dict[object, int] = {}
+        self._flows: Dict[int, Flow] = {}
+        self._next_flow_id = 0
+        self._dirty = True
+        self._clock = 0.0
+        # Canonical between recomputes (aligned with _flow_list):
+        self._flow_list: List[Flow] = []
+        self._remaining = np.zeros(0)
+        self._rates = np.zeros(0)
+        self._link_rates = np.zeros(0)
+        self.link_mbit = np.zeros(0)
+
+    # -- links ------------------------------------------------------------
+
+    def add_link(self, name: object, capacity: float) -> int:
+        """Register a link; returns its index.  Duplicate names rejected."""
+        if capacity <= 0:
+            raise ValueError(f"link {name!r} needs positive capacity")
+        if name in self._link_index:
+            raise ValueError(f"duplicate link {name!r}")
+        index = len(self._capacities)
+        self._link_index[name] = index
+        self._link_names.append(name)
+        self._capacities.append(capacity)
+        self.link_mbit = np.append(self.link_mbit, 0.0)
+        self._link_rates = np.append(self._link_rates, 0.0)
+        return index
+
+    def link_id(self, name: object) -> int:
+        return self._link_index[name]
+
+    @property
+    def n_links(self) -> int:
+        return len(self._capacities)
+
+    def link_name(self, index: int) -> object:
+        return self._link_names[index]
+
+    def capacity(self, index: int) -> float:
+        return self._capacities[index]
+
+    # -- flows -------------------------------------------------------------
+
+    def start_flow(
+        self,
+        link_indices: Sequence[int],
+        size_mbit: float,
+        meta: object = None,
+        rate_cap: Optional[float] = None,
+    ) -> Flow:
+        """Begin a transfer of ``size_mbit`` over the given links.
+
+        ``rate_cap`` bounds the flow's throughput regardless of fair share
+        (the TCP window/RTT ceiling of the session-level model).
+        """
+        if size_mbit <= 0:
+            raise ValueError("flow size must be positive")
+        if rate_cap is not None and rate_cap <= 0:
+            raise ValueError("rate_cap must be positive")
+        for index in link_indices:
+            if not 0 <= index < self.n_links:
+                raise IndexError(f"unknown link index {index}")
+        flow = Flow(
+            flow_id=self._next_flow_id,
+            link_indices=tuple(sorted(set(link_indices))),
+            remaining_mbit=size_mbit,
+            meta=meta,
+            rate_cap=float("inf") if rate_cap is None else float(rate_cap),
+        )
+        self._next_flow_id += 1
+        self._flows[flow.flow_id] = flow
+        self._dirty = True
+        return flow
+
+    def abort_flow(self, flow_id: int) -> Optional[Flow]:
+        """Remove a flow without completing it (peer departure)."""
+        self._flush()
+        flow = self._flows.pop(flow_id, None)
+        if flow is not None:
+            self._dirty = True
+        return flow
+
+    @property
+    def n_flows(self) -> int:
+        return len(self._flows)
+
+    def flows(self) -> Iterable[Flow]:
+        return list(self._flows.values())
+
+    # -- internal state management -----------------------------------------
+
+    def _flush(self) -> None:
+        """Write array state back into the flow objects."""
+        for position, flow in enumerate(self._flow_list):
+            flow.remaining_mbit = float(self._remaining[position])
+            flow.rate = float(self._rates[position])
+
+    def _recompute(self) -> None:
+        self._flush()
+        self._flow_list = list(self._flows.values())
+        if self._flow_list:
+            n_links = self.n_links
+            link_of, flow_of = _build_entries(
+                [flow.link_indices for flow in self._flow_list], n_links
+            )
+            caps = np.array([flow.rate_cap for flow in self._flow_list])
+            rates = _progressive_fill(
+                link_of,
+                flow_of,
+                np.asarray(self._capacities),
+                len(self._flow_list),
+                caps,
+            )
+            self._rates = rates
+            self._remaining = np.array(
+                [flow.remaining_mbit for flow in self._flow_list]
+            )
+            finite = np.where(np.isfinite(rates), rates, 0.0)
+            self._link_rates = np.bincount(
+                link_of, weights=finite[flow_of], minlength=n_links
+            )
+        else:
+            self._flow_list = []
+            self._rates = np.zeros(0)
+            self._remaining = np.zeros(0)
+            self._link_rates = np.zeros(self.n_links)
+        self._dirty = False
+
+    # -- time ---------------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Progress all flows to ``now`` at current rates."""
+        if now < self._clock - 1e-9:
+            raise ValueError("clock cannot move backwards")
+        if self._dirty:
+            self._recompute()
+        dt = now - self._clock
+        if dt > 0 and self._remaining.size:
+            finite = np.isfinite(self._rates)
+            self._remaining[finite] -= self._rates[finite] * dt
+            self._remaining[~finite] = 0.0
+            self.link_mbit += self._link_rates * dt
+        elif dt > 0:
+            self.link_mbit += self._link_rates * dt
+        self._clock = now
+
+    def next_completion(self) -> Optional[float]:
+        """Absolute time the earliest active flow finishes; None if idle."""
+        if self._dirty:
+            self._recompute()
+        if not self._remaining.size:
+            return None
+        with np.errstate(divide="ignore", invalid="ignore"):
+            eta = np.where(
+                np.isinf(self._rates),
+                0.0,
+                np.maximum(self._remaining, 0.0) / np.maximum(self._rates, 1e-30),
+            )
+        eta[self._rates <= 0] = np.inf
+        eta[np.isinf(self._rates)] = 0.0
+        best = float(eta.min())
+        if not np.isfinite(best):
+            return None
+        return self._clock + best
+
+    def pop_finished(self) -> List[Flow]:
+        """Remove and return flows whose transfer completed by the clock."""
+        if self._dirty:
+            self._recompute()
+        done_positions = np.nonzero(self._remaining <= _DONE_EPS)[0]
+        if not done_positions.size:
+            return []
+        self._flush()
+        done = [self._flow_list[position] for position in done_positions]
+        for flow in done:
+            del self._flows[flow.flow_id]
+        self._dirty = True
+        return done
+
+    # -- accounting ----------------------------------------------------------
+
+    def link_traffic(self) -> Dict[object, float]:
+        """Cumulative Mbit carried per link (by registered name)."""
+        return {
+            name: float(self.link_mbit[index])
+            for name, index in self._link_index.items()
+        }
+
+    def utilization(self, index: int) -> float:
+        """Instantaneous utilization of a link at current rates."""
+        if self._dirty:
+            self._recompute()
+        return float(self._link_rates[index]) / self._capacities[index]

@@ -1,0 +1,1 @@
+"""Operator tooling: the command-line experiment runner."""

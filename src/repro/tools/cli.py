@@ -1,0 +1,199 @@
+"""Command-line experiment runner: ``python -m repro.tools.cli <experiment>``.
+
+Runs any reproduced table/figure at an adjustable scale and prints the
+same rows the benchmarks report -- the quickest way to regenerate one
+result without invoking pytest.
+
+Examples::
+
+    python -m repro.tools.cli table1
+    python -m repro.tools.cli fig6 --peers 120 --runs 2
+    python -m repro.tools.cli fieldtest --clients 600
+    python -m repro.tools.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+
+def _run_table1(args: argparse.Namespace, out) -> None:
+    from repro.experiments.table1_topologies import format_table1, run_table1
+
+    print(format_table1(run_table1()), file=out)
+
+
+def _run_fig6(args: argparse.Namespace, out) -> None:
+    from repro.experiments.fig6_internet import run_fig6
+
+    fig6 = run_fig6(n_peers=args.peers, n_runs=args.runs)
+    for scheme in ("native", "localized", "p4p"):
+        print(
+            f"{scheme:<10} mean {fig6.mean_completion(scheme):7.1f}s  "
+            f"bottleneck {fig6.bottleneck_mbit(scheme):8.1f} Mbit",
+            file=out,
+        )
+
+
+def _run_fig7(args: argparse.Namespace, out) -> None:
+    from repro.experiments.fig7_fig8_sweep import run_fig7
+
+    sweep = run_fig7(swarm_sizes=tuple(args.sizes))
+    for point in sweep.points:
+        row = "  ".join(
+            f"{scheme} {point.mean_completion[scheme]:6.1f}s"
+            for scheme in sorted(point.mean_completion)
+        )
+        print(f"size {point.swarm_size:4d}: {row}", file=out)
+    print(f"p4p improvement vs native: {sweep.improvement_percent('p4p'):.1f}%", file=out)
+
+
+def _run_fig8(args: argparse.Namespace, out) -> None:
+    from repro.experiments.fig7_fig8_sweep import run_fig8
+
+    sweep = run_fig8(swarm_sizes=tuple(args.sizes))
+    for scheme in ("native", "localized", "p4p"):
+        series = "  ".join(
+            f"{size}:{value:.2f}" for size, value in sweep.normalized_series(scheme)
+        )
+        print(f"{scheme:<10} {series}", file=out)
+
+
+def _run_fig9(args: argparse.Namespace, out) -> None:
+    from repro.experiments.fig9_liveswarms import run_fig9
+
+    fig9 = run_fig9(n_clients=args.clients, duration=args.duration)
+    print(
+        f"native {fig9.mean_backbone_mb('native'):8.2f} MB/link   "
+        f"p4p {fig9.mean_backbone_mb('p4p'):8.2f} MB/link   "
+        f"reduction {fig9.reduction_percent():.1f}%",
+        file=out,
+    )
+
+
+def _run_fig10(args: argparse.Namespace, out) -> None:
+    from repro.experiments.fig10_interdomain import run_fig10
+
+    fig10 = run_fig10(n_peers=args.peers)
+    for scheme in ("native", "localized", "p4p"):
+        volumes = "  ".join(
+            f"{link[0]}->{link[1]}:{fig10.charging[scheme].get(link, 0.0):8.1f}"
+            for link in fig10.interdomain_links
+        )
+        print(f"{scheme:<10} {volumes}", file=out)
+
+
+def _run_fieldtest(args: argparse.Namespace, out) -> None:
+    from repro.experiments.fig11_12_fieldtest import run_field_test
+    from repro.simulator.fieldtest import FieldTestConfig
+
+    figures = run_field_test(FieldTestConfig(n_clients=args.clients))
+    table2 = figures.table2()
+    for row, ratio in table2["ratio"].items():
+        print(
+            f"{row:<24} native {table2['native'][row]:10.0f}  "
+            f"p4p {table2['p4p'][row]:10.0f}  ratio {ratio:5.2f}",
+            file=out,
+        )
+    bdp = figures.unit_bdp()
+    print(
+        f"unit BDP {bdp['native']:.2f} -> {bdp['p4p']:.2f}; "
+        f"completion improvement {figures.overall_improvement_percent():.1f}%",
+        file=out,
+    )
+
+
+def _run_sec8(args: argparse.Namespace, out) -> None:
+    from repro.experiments.sec8_swarms import run_sec8
+
+    result = run_sec8(n_swarms=args.swarms)
+    print(
+        f"{result.n_swarms} swarms: {result.empirical_tail * 100:.2f}% above "
+        f"{result.threshold} leechers (paper {result.paper_tail * 100:.2f}%)",
+        file=out,
+    )
+
+
+def _run_ablations(args: argparse.Namespace, out) -> None:
+    from repro.experiments.ablations import (
+        run_ablation_charging,
+        run_ablation_decomposition,
+        run_ablation_granularity,
+    )
+
+    for entry in run_ablation_decomposition(n_iterations=args.iterations):
+        print(
+            f"decomposition mu={entry.step_size} theta={entry.damping} "
+            f"decay={entry.step_decay}: MLU {entry.achieved_mlu:.4f} vs "
+            f"optimal {entry.optimal_mlu:.4f} (gap {entry.gap_percent:+.1f}%)",
+            file=out,
+        )
+    charging = run_ablation_charging()
+    print(
+        f"charging predictor: hybrid err {charging.hybrid_mean_error:.3f} vs "
+        f"sliding {charging.sliding_mean_error:.3f}",
+        file=out,
+    )
+    granularity = run_ablation_granularity()
+    print(
+        f"rank coarsening penalty: {granularity.rank_penalty_percent:.1f}%",
+        file=out,
+    )
+
+
+_EXPERIMENTS: Dict[str, Callable] = {
+    "table1": _run_table1,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fieldtest": _run_fieldtest,
+    "sec8": _run_sec8,
+    "ablations": _run_ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the P4P paper (SIGCOMM 2008).",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("table1", help="Table 1: networks evaluated")
+    fig6 = sub.add_parser("fig6", help="Fig. 6: Abilene BitTorrent comparison")
+    fig6.add_argument("--peers", type=int, default=120)
+    fig6.add_argument("--runs", type=int, default=2)
+    for name in ("fig7", "fig8"):
+        sweep = sub.add_parser(name, help=f"{name}: swarm-size sweep")
+        sweep.add_argument("--sizes", type=int, nargs="+", default=[100, 200])
+    fig9 = sub.add_parser("fig9", help="Fig. 9: Liveswarms volumes")
+    fig9.add_argument("--clients", type=int, default=40)
+    fig9.add_argument("--duration", type=float, default=300.0)
+    fig10 = sub.add_parser("fig10", help="Fig. 10: interdomain charging")
+    fig10.add_argument("--peers", type=int, default=100)
+    fieldtest = sub.add_parser("fieldtest", help="Figs. 11/12, Tables 2/3")
+    fieldtest.add_argument("--clients", type=int, default=600)
+    sec8 = sub.add_parser("sec8", help="Sec. 8: swarm-population tail")
+    sec8.add_argument("--swarms", type=int, default=34_721)
+    ablations = sub.add_parser("ablations", help="design-choice ablations")
+    ablations.add_argument("--iterations", type=int, default=60)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in _EXPERIMENTS:
+            print(name, file=out)
+        return 0
+    _EXPERIMENTS[args.experiment](args, out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

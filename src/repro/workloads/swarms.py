@@ -1,0 +1,81 @@
+"""Swarm-population workloads: the Sec. 8 scalability analysis.
+
+The paper analyzed the instantaneous leecher counts of 34,721 movie torrents
+from thepiratebay.org and found that only 0.72% of swarms exceeded 100
+leechers -- the long-tail argument for appTrackers focusing on heavy-hitter
+networks.  Real swarm populations are well modelled by a discrete power law
+(Zipf); this module generates calibrated populations and reproduces the
+analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class SwarmPopulationModel:
+    """Discrete power-law swarm sizes: ``P(size = k) ~ k^-alpha``.
+
+    Attributes:
+        alpha: Tail exponent; ~1.96 calibrates the piratebay observation
+            (roughly 0.72% of swarms above 100 leechers).
+        max_size: Truncation of the support.
+    """
+
+    alpha: float = 1.96
+    max_size: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 1.0:
+            raise ValueError("alpha must exceed 1 for a normalizable tail")
+        if self.max_size < 1:
+            raise ValueError("max_size must be >= 1")
+
+    def sample(self, count: int, rng: random.Random) -> List[int]:
+        """Draw ``count`` swarm sizes by inverse-CDF over the zeta weights."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        # Inverse transform on the truncated zeta CDF via bisection over a
+        # precomputed cumulative table (support is modest).
+        weights = [k ** (-self.alpha) for k in range(1, self.max_size + 1)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            cumulative.append(acc / total)
+        sizes = []
+        for _ in range(count):
+            u = rng.random()
+            sizes.append(_bisect_left(cumulative, u) + 1)
+        return sizes
+
+    def tail_fraction(self, threshold: int) -> float:
+        """Exact model fraction of swarms strictly above ``threshold``."""
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        weights = [k ** (-self.alpha) for k in range(1, self.max_size + 1)]
+        total = sum(weights)
+        above = sum(weights[threshold:])
+        return above / total
+
+
+def _bisect_left(cumulative: Sequence[float], u: float) -> int:
+    lo, hi = 0, len(cumulative)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] < u:
+            lo = mid + 1
+        else:
+            hi = mid
+    return min(lo, len(cumulative) - 1)
+
+
+def fraction_above(sizes: Sequence[int], threshold: int) -> float:
+    """Empirical fraction of swarms with more than ``threshold`` leechers."""
+    if not sizes:
+        raise ValueError("no swarm sizes")
+    return sum(1 for size in sizes if size > threshold) / len(sizes)

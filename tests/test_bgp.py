@@ -1,0 +1,139 @@
+"""Tests for BGP-preference-derived p-distances (Sec. 4 / Sec. 2)."""
+
+import random
+
+import pytest
+
+from repro.apptracker.bittorrent import localized_tracker
+from repro.apptracker.selection import P4PSelection, PeerInfo
+from repro.core.bgp import (
+    BgpPolicy,
+    BgpRelationship,
+    derive_prices,
+)
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+
+
+def multihomed_topology() -> Topology:
+    """A stub AS with one customer, one peer, one provider, one backup.
+
+    HOME's clients can also reach FARAWAY only through the provider or the
+    backup.
+    """
+    topo = Topology(name="multihomed")
+    for pid, as_number in (
+        ("HOME", 1), ("CUST", 2), ("PEERAS", 3), ("PROV", 4), ("BACKUP", 5),
+    ):
+        topo.add_pid(pid, as_number=as_number)
+    for neighbor in ("CUST", "PEERAS", "PROV", "BACKUP"):
+        forward, reverse = topo.add_edge("HOME", neighbor, capacity=1000.0)
+        forward.interdomain = True
+        reverse.interdomain = True
+    return topo
+
+
+def classified_policy() -> BgpPolicy:
+    policy = BgpPolicy()
+    for neighbor, relationship in (
+        ("CUST", BgpRelationship.CUSTOMER),
+        ("PEERAS", BgpRelationship.PEER),
+        ("PROV", BgpRelationship.PROVIDER),
+        ("BACKUP", BgpRelationship.BACKUP),
+    ):
+        policy.classify(("HOME", neighbor), relationship)
+        policy.classify((neighbor, "HOME"), relationship)
+    return policy
+
+
+class TestDerivePrices:
+    def test_relationship_ordering(self):
+        topo = multihomed_topology()
+        prices = derive_prices(topo, classified_policy())
+        assert prices[("HOME", "CUST")] < prices[("HOME", "PEERAS")]
+        assert prices[("HOME", "PEERAS")] < prices[("HOME", "PROV")]
+        assert prices[("HOME", "PROV")] < prices[("HOME", "BACKUP")]
+
+    def test_intradomain_links_keep_ospf(self):
+        topo = multihomed_topology()
+        topo.add_pid("HOME2", as_number=1)
+        topo.add_edge("HOME", "HOME2", capacity=1000.0, ospf_weight=7.0)
+        prices = derive_prices(topo, classified_policy())
+        assert prices[("HOME", "HOME2")] == 7.0
+
+    def test_unclassified_defaults_to_provider(self):
+        topo = multihomed_topology()
+        policy = BgpPolicy()  # nothing classified
+        prices = derive_prices(topo, policy)
+        provider_price = policy.unit_price * policy.multipliers[BgpRelationship.PROVIDER]
+        assert prices[("HOME", "BACKUP")] == provider_price
+
+    def test_unclassified_can_be_an_error(self):
+        topo = multihomed_topology()
+        with pytest.raises(KeyError):
+            derive_prices(topo, BgpPolicy(), default_interdomain=None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BgpPolicy(unit_price=0.0)
+        with pytest.raises(ValueError):
+            BgpPolicy(multipliers={BgpRelationship.PEER: -1.0})
+
+    def test_plugs_into_explicit_mode(self):
+        topo = multihomed_topology()
+        prices = derive_prices(topo, classified_policy())
+        tracker = ITracker(
+            topology=topo,
+            config=ITrackerConfig(mode=PriceMode.EXPLICIT),
+            explicit_prices=prices,
+        )
+        view = tracker.get_pdistances()
+        assert view.distance("HOME", "CUST") < view.distance("HOME", "BACKUP")
+
+
+class TestBackupAvoidance:
+    """Sec. 2's third failure of pure locality: latency cannot see that a
+    nearby peer sits behind an expensive backup provider."""
+
+    def test_p4p_avoids_backup_but_localized_does_not(self):
+        topo = multihomed_topology()
+        # The backup provider's clients are physically CLOSE (low latency);
+        # the customer's are far.
+        for link in topo.links.values():
+            if "BACKUP" in link.key:
+                link.distance = 10.0
+            else:
+                link.distance = 800.0
+        routing = RoutingTable.build(topo)
+        tracker = ITracker(
+            topology=topo,
+            config=ITrackerConfig(mode=PriceMode.EXPLICIT),
+            explicit_prices=derive_prices(topo, classified_policy()),
+        )
+        view = tracker.get_pdistances()
+
+        client = PeerInfo(peer_id=0, pid="HOME", as_number=1)
+        candidates = (
+            [PeerInfo(peer_id=i, pid="BACKUP", as_number=5) for i in range(1, 11)]
+            + [PeerInfo(peer_id=i, pid="CUST", as_number=2) for i in range(11, 21)]
+        )
+        rng = random.Random(3)
+
+        localized = localized_tracker(routing, jitter=0.0)
+        localized_choice = localized.select(client, candidates, 6, rng)
+        backup_share_localized = sum(
+            1 for peer in localized_choice if peer.pid == "BACKUP"
+        ) / len(localized_choice)
+
+        p4p = P4PSelection(pdistances={1: view}, gamma=1.0)
+        p4p_counts = {"BACKUP": 0, "CUST": 0}
+        for seed in range(20):
+            for peer in p4p.select(client, candidates, 6, random.Random(seed)):
+                p4p_counts[peer.pid] += 1
+        backup_share_p4p = p4p_counts["BACKUP"] / sum(p4p_counts.values())
+
+        # Latency-guided selection floods the cheap-looking backup route;
+        # cost-guided P4P keeps most traffic on the customer link.
+        assert backup_share_localized >= 0.9
+        assert backup_share_p4p < 0.3

@@ -1,0 +1,157 @@
+"""Tests for percentile charging and the Sec. 6.1 predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.charging import (
+    INTERVALS_PER_PERIOD,
+    BackgroundPredictor,
+    ChargingVolumePredictor,
+    charging_volume,
+    estimate_virtual_capacity,
+    percentile_volume,
+)
+
+
+class TestPercentileVolume:
+    def test_paper_interval_count(self):
+        # 95% x 30 days x 24h x 60min / 5min = 8208th sorted interval.
+        assert INTERVALS_PER_PERIOD == 8640
+        assert int(0.95 * INTERVALS_PER_PERIOD) == 8208
+
+    def test_95th_of_full_month(self):
+        volumes = np.arange(1, INTERVALS_PER_PERIOD + 1, dtype=float)
+        assert charging_volume(volumes) == 8208.0
+
+    def test_max_at_q_one(self):
+        assert percentile_volume([3.0, 1.0, 2.0], q=1.0) == 3.0
+
+    def test_small_sample(self):
+        assert percentile_volume([10.0, 20.0], q=0.95) == 20.0
+
+    def test_single_sample(self):
+        assert percentile_volume([7.0], q=0.95) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_volume([], q=0.95)
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_volume([1.0], q=0.0)
+        with pytest.raises(ValueError):
+            percentile_volume([1.0], q=1.5)
+
+    @settings(max_examples=100)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_result_is_a_sample(self, volumes, q):
+        assert percentile_volume(volumes, q) in volumes
+
+    @settings(max_examples=100)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+    def test_monotone_in_q(self, volumes):
+        low = percentile_volume(volumes, 0.5)
+        high = percentile_volume(volumes, 0.95)
+        assert low <= high
+
+
+class TestChargingVolumePredictor:
+    def test_warmup_uses_previous_period(self):
+        predictor = ChargingVolumePredictor(q=0.95, period_intervals=100, warmup_intervals=10)
+        # Previous period all 50s; current period starts with 500s.
+        history = [50.0] * 100 + [500.0] * 5
+        predicted = predictor.predict(history, 105)
+        # Inside warm-up -> last 100 samples (mostly previous period).
+        assert predicted == percentile_volume(history[5:105], 0.95)
+
+    def test_after_warmup_uses_current_period(self):
+        predictor = ChargingVolumePredictor(q=0.95, period_intervals=100, warmup_intervals=10)
+        history = [50.0] * 100 + [500.0] * 20
+        predicted = predictor.predict(history, 120)
+        assert predicted == 500.0  # current-period samples only
+
+    def test_pure_sliding_window_variant(self):
+        predictor = ChargingVolumePredictor(
+            q=0.95, period_intervals=100, warmup_intervals=10, pure_sliding_window=True
+        )
+        history = [50.0] * 100 + [500.0] * 20
+        predicted = predictor.predict(history, 120)
+        # Sliding over the last 100 -> 80 old + 20 new; 95th pct hits new peak.
+        assert predicted == 500.0
+        history2 = [500.0] * 100 + [50.0] * 20
+        # With descending traffic the naive window over-predicts badly.
+        assert predictor.predict(history2, 120) == 500.0
+
+    def test_hybrid_beats_sliding_on_period_change(self):
+        """The paper's observation: a pure sliding window mis-predicts when
+        the previous period's charging volume was much higher."""
+        hybrid = ChargingVolumePredictor(q=0.95, period_intervals=100, warmup_intervals=10)
+        sliding = ChargingVolumePredictor(
+            q=0.95, period_intervals=100, warmup_intervals=10, pure_sliding_window=True
+        )
+        history = [500.0] * 100 + [50.0] * 50
+        truth = 50.0  # the current period is flat at 50
+        assert abs(hybrid.predict(history, 150) - truth) < abs(
+            sliding.predict(history, 150) - truth
+        )
+
+    def test_first_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ChargingVolumePredictor().predict([1.0], 0)
+
+    def test_insufficient_history_rejected(self):
+        with pytest.raises(ValueError):
+            ChargingVolumePredictor().predict([1.0], 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChargingVolumePredictor(q=0.0)
+        with pytest.raises(ValueError):
+            ChargingVolumePredictor(period_intervals=0)
+        with pytest.raises(ValueError):
+            ChargingVolumePredictor(period_intervals=10, warmup_intervals=20)
+
+
+class TestBackgroundPredictor:
+    def test_moving_average(self):
+        predictor = BackgroundPredictor(window=3)
+        assert predictor.predict([1.0, 2.0, 3.0, 4.0], 4) == pytest.approx(3.0)
+
+    def test_short_history(self):
+        predictor = BackgroundPredictor(window=10)
+        assert predictor.predict([2.0, 4.0], 2) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundPredictor(window=0)
+        with pytest.raises(ValueError):
+            BackgroundPredictor().predict([], 0)
+
+
+class TestVirtualCapacity:
+    def test_headroom_positive(self):
+        total = [100.0] * 50
+        background = [30.0] * 50
+        v_e = estimate_virtual_capacity(
+            total,
+            background,
+            50,
+            charging_predictor=ChargingVolumePredictor(period_intervals=40, warmup_intervals=5),
+        )
+        assert v_e == pytest.approx(70.0)
+
+    def test_clamped_at_zero(self):
+        total = [100.0] * 50
+        background = [150.0] * 50
+        v_e = estimate_virtual_capacity(
+            total,
+            background,
+            50,
+            charging_predictor=ChargingVolumePredictor(period_intervals=40, warmup_intervals=5),
+        )
+        assert v_e == 0.0

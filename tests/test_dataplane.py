@@ -1,0 +1,186 @@
+"""Tests for the optional data plane: classification, policing, scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.shaping import (
+    PriorityScheduler,
+    ShapedLink,
+    TokenBucket,
+    TrafficClassifier,
+    p4p_marked,
+)
+
+
+class TestClassifier:
+    def test_default_class(self):
+        assert TrafficClassifier().classify({}) == "best-effort"
+
+    def test_rules_in_order(self):
+        classifier = TrafficClassifier()
+        classifier.add_rule(p4p_marked, "p4p")
+        classifier.add_rule(lambda f: f.get("port") == 80, "web")
+        assert classifier.classify({"p4p": True, "port": 80}) == "p4p"
+        assert classifier.classify({"port": 80}) == "web"
+        assert classifier.classify({"port": 22}) == "best-effort"
+
+    def test_p4p_marking_is_cooperative(self):
+        assert p4p_marked({"p4p": True})
+        assert not p4p_marked({"p4p": False})
+        assert not p4p_marked({})
+
+
+class TestTokenBucket:
+    def test_burst_then_rate(self):
+        bucket = TokenBucket(rate=3.0, burst=5.0)
+        assert bucket.offer(0.0, 100.0) == 5.0  # burst drained
+        assert bucket.offer(1.0, 100.0) == pytest.approx(3.0)  # refilled at rate
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=5.0)
+        bucket.offer(0.0, 0.0)
+        assert bucket.offer(100.0, 100.0) == 5.0
+
+    def test_partial_consumption(self):
+        bucket = TokenBucket(rate=1.0, burst=10.0)
+        assert bucket.offer(0.0, 4.0) == 4.0
+        assert bucket.available == pytest.approx(6.0)
+
+    def test_time_monotonic(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        bucket.offer(5.0, 0.0)
+        with pytest.raises(ValueError):
+            bucket.offer(4.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=1.0).offer(0.0, -1.0)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=50.0),
+    ), min_size=1, max_size=20))
+    def test_long_run_rate_bounded(self, offers):
+        """Admitted volume never exceeds burst + rate * elapsed."""
+        bucket = TokenBucket(rate=3.0, burst=7.0)
+        now = 0.0
+        admitted = 0.0
+        for gap, amount in offers:
+            now += gap
+            admitted += bucket.offer(now, amount)
+        assert admitted <= 7.0 + 3.0 * now + 1e-9
+
+
+class TestPriorityScheduler:
+    def test_background_preempts_p4p(self):
+        scheduler = PriorityScheduler(capacity=10.0)
+        allocation = scheduler.allocate({"background": 8.0, "p4p": 8.0})
+        assert allocation["background"] == 8.0
+        assert allocation["p4p"] == pytest.approx(2.0)
+
+    def test_p4p_soaks_idle_capacity(self):
+        scheduler = PriorityScheduler(capacity=10.0)
+        allocation = scheduler.allocate({"background": 1.0, "p4p": 20.0})
+        assert allocation["p4p"] == pytest.approx(9.0)
+
+    def test_unknown_class_served_last(self):
+        scheduler = PriorityScheduler(capacity=10.0)
+        allocation = scheduler.allocate({"background": 6.0, "mystery": 10.0})
+        assert allocation["mystery"] == pytest.approx(4.0)
+
+    def test_headroom(self):
+        scheduler = PriorityScheduler(capacity=10.0)
+        assert scheduler.p4p_headroom(3.0) == 7.0
+        assert scheduler.p4p_headroom(15.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriorityScheduler(capacity=0.0)
+        with pytest.raises(ValueError):
+            PriorityScheduler(capacity=1.0, priorities=("a", "a"))
+        with pytest.raises(ValueError):
+            PriorityScheduler(capacity=1.0).allocate({"x": -1.0})
+        with pytest.raises(ValueError):
+            PriorityScheduler(capacity=1.0).p4p_headroom(-1.0)
+
+    @settings(max_examples=60)
+    @given(st.dictionaries(
+        st.sampled_from(["background", "best-effort", "p4p"]),
+        st.floats(min_value=0.0, max_value=100.0),
+        min_size=1,
+    ))
+    def test_work_conserving_and_feasible(self, demands):
+        scheduler = PriorityScheduler(capacity=25.0)
+        allocation = scheduler.allocate(demands)
+        total = sum(allocation.values())
+        assert total <= 25.0 + 1e-9
+        # Work conserving: all capacity used unless demand is short.
+        assert total == pytest.approx(min(25.0, sum(demands.values())), abs=1e-9)
+        for traffic_class, granted in allocation.items():
+            assert granted <= demands[traffic_class] + 1e-9
+
+
+class TestShapedLink:
+    def make_link(self):
+        classifier = TrafficClassifier()
+        classifier.add_rule(p4p_marked, "p4p")
+        classifier.add_rule(lambda f: True, "background")
+        return ShapedLink(
+            scheduler=PriorityScheduler(capacity=10.0), classifier=classifier
+        )
+
+    def test_p4p_yields_to_background(self):
+        link = self.make_link()
+        rates = link.transmit(
+            0.0,
+            [({"p4p": True}, 10.0), ({}, 7.0)],
+        )
+        assert rates[1] == pytest.approx(7.0)
+        assert rates[0] == pytest.approx(3.0)
+
+    def test_pro_rata_within_class(self):
+        link = self.make_link()
+        rates = link.transmit(
+            0.0,
+            [({"p4p": True}, 6.0), ({"p4p": True}, 2.0), ({}, 6.0)],
+        )
+        # 4 left for p4p, split 3:1.
+        assert rates[0] == pytest.approx(3.0)
+        assert rates[1] == pytest.approx(1.0)
+
+    def test_policer_applies_per_class(self):
+        link = self.make_link()
+        link.policers["p4p"] = TokenBucket(rate=1.0, burst=2.0)
+        rates = link.transmit(0.0, [({"p4p": True}, 10.0)])
+        assert rates[0] == pytest.approx(2.0)  # bucket-limited, not link-limited
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_link().transmit(0.0, [({}, -1.0)])
+
+    def test_empty_flow_list(self):
+        assert self.make_link().transmit(0.0, []) == []
+
+
+class TestDataPlaneControlPlaneConsistency:
+    """The scheduler's scavenger headroom equals the control plane's
+    virtual-capacity intuition: what background leaves behind."""
+
+    def test_headroom_matches_link_model(self):
+        from repro.network.topology import Link
+
+        link = Link(src="A", dst="B", capacity=100.0, background=37.5)
+        scheduler = PriorityScheduler(capacity=link.capacity)
+        assert scheduler.p4p_headroom(link.background) == pytest.approx(link.headroom)
+
+    def test_scavenger_allocation_never_exceeds_headroom(self):
+        scheduler = PriorityScheduler(capacity=100.0)
+        for background in (0.0, 30.0, 99.0, 150.0):
+            allocation = scheduler.allocate(
+                {"background": background, "p4p": 1000.0}
+            )
+            assert allocation["p4p"] <= scheduler.p4p_headroom(background) + 1e-9

@@ -1,0 +1,143 @@
+"""Failure-injection tests: the robustness promises of Sec. 8.
+
+"iTrackers are not on the critical path. Thus, if iTrackers are down, P2P
+applications can still make default application decisions."  These tests
+break each dependency mid-run and assert the swarm completes anyway.
+"""
+
+import random
+
+import pytest
+
+from repro.apptracker.selection import P4PSelection, PeerInfo, RandomSelection
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+from repro.portal.client import PortalClient, PortalClientError
+from repro.portal.server import PortalServer
+from repro.simulator.swarm import SwarmConfig, SwarmSimulation
+from repro.workloads.placement import place_peers
+
+
+def quick_config(**kwargs):
+    defaults = dict(
+        file_mbit=16.0, block_mbit=2.0, neighbors=6, join_window=10.0,
+        access_up_mbps=10.0, access_down_mbps=20.0, seed_up_mbps=50.0,
+        completion_quantum=0.05, rng_seed=5,
+    )
+    defaults.update(kwargs)
+    return SwarmConfig(**defaults)
+
+
+def build_swarm(topo, routing, selector, n_peers=12, **sim_kwargs):
+    peers = place_peers(topo, n_peers, random.Random(3), first_id=1)
+    seed = PeerInfo(peer_id=0, pid="CHIN", as_number=topo.node("CHIN").as_number)
+    return SwarmSimulation(
+        topo, routing, quick_config(), selector, peers, [seed], **sim_kwargs
+    )
+
+
+class TestTrackerHookFailures:
+    def test_crashing_hook_does_not_kill_swarm(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+
+        def exploding_hook(now, traffic, rates):
+            raise RuntimeError("iTracker fell over")
+
+        sim = build_swarm(topo, routing, RandomSelection(), tracker_hook=exploding_hook)
+        result = sim.run(until=5000.0)
+        assert len(result.completion_times) == 12
+        assert result.tracker_hook_failures >= 0  # recorded, not raised
+
+    def test_hook_failure_counter_increments(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        config = quick_config(
+            tracker_update_interval=0.5, access_up_mbps=2.0, access_down_mbps=4.0
+        )
+        peers = place_peers(topo, 10, random.Random(3), first_id=1)
+        seed = PeerInfo(peer_id=0, pid="CHIN", as_number=0)
+
+        def exploding_hook(now, traffic, rates):
+            raise RuntimeError("boom")
+
+        sim = SwarmSimulation(
+            topo, routing, config, RandomSelection(), peers, [seed],
+            tracker_hook=exploding_hook,
+        )
+        result = sim.run(until=5000.0)
+        assert result.tracker_hook_failures > 0
+
+
+class TestPortalOutage:
+    def test_client_raises_but_cached_view_survives(self):
+        itracker = ITracker(
+            topology=abilene(), config=ITrackerConfig(mode=PriceMode.HOP_COUNT)
+        )
+        server = PortalServer(itracker)
+        host, port = server.address
+        client = PortalClient(host, port)
+        view = client.get_pdistances()
+        server.close()
+        client.close()
+        # The portal is dead: new connections fail...
+        with pytest.raises((PortalClientError, OSError)):
+            PortalClient(host, port).get_version()
+        # ...but the cached view still answers locally.
+        assert view.distance("SEAT", "NYCM") > 0
+
+    def test_swarm_runs_on_stale_view_after_outage(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        itracker = ITracker(
+            topology=topo, config=ITrackerConfig(mode=PriceMode.HOP_COUNT)
+        )
+        server = PortalServer(itracker)
+        with PortalClient(*server.address) as client:
+            view = client.get_pdistances()
+        server.close()  # portal gone before the swarm even starts
+        selector = P4PSelection(
+            pdistances={topo.node("SEAT").as_number: view}
+        )
+        result = build_swarm(topo, routing, selector).run(until=5000.0)
+        assert len(result.completion_times) == 12
+
+
+class TestSeedLoss:
+    def test_seed_departure_before_dissemination_stalls_safely(self):
+        """Losing the only seed must end the run, not hang it."""
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        config = quick_config(access_up_mbps=0.5, access_down_mbps=1.0, seed_up_mbps=0.5)
+        peers = place_peers(topo, 6, random.Random(9), first_id=1)
+        seed = PeerInfo(peer_id=0, pid="CHIN", as_number=0)
+        sim = SwarmSimulation(topo, routing, config, RandomSelection(), peers, [seed])
+        sim.engine.schedule(1.0, lambda: sim.depart(0))
+        result = sim.run(until=4000.0)
+        # Not everyone finishes (blocks lost with the seed), but the
+        # simulation terminates and reports what did finish.
+        assert len(result.completion_times) < len(peers)
+        assert result.duration <= 4000.0 + 1e-6
+
+    def test_seed_departure_after_dissemination_is_survivable(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        config = quick_config()
+        peers = place_peers(topo, 10, random.Random(9), first_id=1)
+        seed = PeerInfo(peer_id=0, pid="CHIN", as_number=0)
+        sim = SwarmSimulation(topo, routing, config, RandomSelection(), peers, [seed])
+        sim.engine.schedule(30.0, lambda: sim.depart(0))
+        result = sim.run(until=10000.0)
+        # By t=30 the content is fully replicated among peers.
+        assert len(result.completion_times) >= 8
+
+
+class TestUnknownAsFallback:
+    def test_p4p_selector_serves_unknown_as_randomly(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        # Selector has views for AS 1 only; clients are in AS 11537.
+        selector = P4PSelection(pdistances={})
+        result = build_swarm(topo, routing, selector).run(until=5000.0)
+        assert len(result.completion_times) == 12

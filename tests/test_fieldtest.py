@@ -1,0 +1,163 @@
+"""Tests for the Pando field-test simulation."""
+
+import random
+
+import pytest
+
+from repro.simulator.fieldtest import (
+    EXTERNAL_AS,
+    EXTERNAL_PID,
+    FieldTest,
+    FieldTestConfig,
+    build_field_topology,
+    flash_crowd_arrivals,
+)
+
+
+def small_config(**kwargs):
+    defaults = dict(n_clients=80, days=3, day_seconds=120.0, neighbors=6)
+    defaults.update(kwargs)
+    return FieldTestConfig(**defaults)
+
+
+class TestConfig:
+    def test_horizon(self):
+        config = FieldTestConfig(days=10, day_seconds=400.0)
+        assert config.horizon == 4000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FieldTestConfig(isp_fraction=1.5)
+        with pytest.raises(ValueError):
+            FieldTestConfig(n_clients=1)
+        with pytest.raises(ValueError):
+            FieldTestConfig(days=0)
+
+
+class TestTopology:
+    def test_external_node_added(self):
+        topo, classes = build_field_topology(small_config())
+        assert EXTERNAL_PID in topo.nodes
+        assert topo.node(EXTERNAL_PID).as_number == EXTERNAL_AS
+
+    def test_interdomain_links_marked(self):
+        topo, _ = build_field_topology(small_config())
+        interdomain = topo.interdomain_links
+        assert len(interdomain) == 6  # 3 edges x 2 directions
+        assert all(EXTERNAL_PID in link.key for link in interdomain)
+
+    def test_classes_cover_isp_pids(self):
+        topo, classes = build_field_topology(small_config())
+        isp_pids = [pid for pid in topo.aggregation_pids if pid != EXTERNAL_PID]
+        assert set(classes) == set(isp_pids)
+        assert set(classes.values()) <= {"fttp", "dsl"}
+
+
+class TestArrivals:
+    def test_count_and_range(self):
+        config = small_config()
+        times = flash_crowd_arrivals(config, 50, random.Random(0))
+        assert len(times) == 50
+        assert all(0 <= t <= config.horizon for t in times)
+
+    def test_flash_days_dominate(self):
+        config = small_config(days=6, flash_days=3, flash_multiplier=5.0)
+        times = flash_crowd_arrivals(config, 2000, random.Random(1))
+        flash_window = config.flash_days * config.day_seconds
+        early = sum(1 for t in times if t < flash_window)
+        assert early / len(times) > 0.6
+
+    def test_sorted(self):
+        times = flash_crowd_arrivals(small_config(), 30, random.Random(2))
+        assert times == sorted(times)
+
+
+class TestFieldTestRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return FieldTest(small_config(n_clients=200)).run()
+
+    def test_both_swarms_complete(self, report):
+        assert len(report.native.result.completion_times) > 0
+        assert len(report.p4p.result.completion_times) > 0
+
+    def test_populations_split_evenly(self, report):
+        native_n = len(report.native.result.completion_times)
+        p4p_n = len(report.p4p.result.completion_times)
+        assert abs(native_n - p4p_n) <= 1
+
+    def test_ledger_accounts_all_payload(self, report):
+        for outcome in (report.native, report.p4p):
+            done = len(outcome.result.completion_times)
+            # Every completed peer downloaded the full file, and aborted
+            # in-flight transfers may add a little extra recorded payload.
+            expected = done * 160.0
+            assert outcome.ledger.total >= expected - 1e-6
+
+    def test_p4p_localizes_more(self, report):
+        # Small populations are noisy; allow slack but require the trend.
+        assert (
+            report.p4p.ledger.localization_percent()
+            >= report.native.ledger.localization_percent() - 2.0
+        )
+        assert report.p4p.ledger.external_to_isp <= report.native.ledger.external_to_isp
+
+    def test_p4p_reduces_unit_bdp(self, report):
+        assert report.p4p.unit_bdp <= report.native.unit_bdp + 0.5
+
+    def test_swarm_timeline_recorded(self, report):
+        assert report.native.swarm_size_timeline
+        sizes = [size for _, size in report.native.swarm_size_timeline]
+        assert max(sizes) > 0
+
+    def test_completion_classes_partition(self, report):
+        for outcome in (report.native, report.p4p):
+            classified = sum(
+                len(times) for times in outcome.completion_by_class.values()
+            )
+            assert classified == len(outcome.result.completion_times)
+            assert set(outcome.completion_by_class) <= {"fttp", "dsl", "external"}
+
+    def test_deterministic(self):
+        a = FieldTest(small_config(n_clients=40)).run()
+        b = FieldTest(small_config(n_clients=40)).run()
+        assert (
+            a.native.result.completion_times == b.native.result.completion_times
+        )
+        assert a.p4p.ledger.as_table() == b.p4p.ledger.as_table()
+
+
+class TestIspCParticipation:
+    """The paper ran iTrackers for ISP-B *and* ISP-C (reporting ISP-B)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return FieldTest(
+            small_config(n_clients=150, include_isp_c=True, isp_c_fraction=0.2)
+        ).run()
+
+    def test_isp_c_clients_present(self, report):
+        for outcome in (report.native, report.p4p):
+            assert "isp-c" in outcome.completion_by_class
+            assert len(outcome.completion_by_class["isp-c"]) > 0
+
+    def test_topology_has_both_isps(self):
+        config = small_config(include_isp_c=True)
+        topo, _ = build_field_topology(config)
+        as_numbers = {
+            node.as_number
+            for node in topo.nodes.values()
+            if node.pid != EXTERNAL_PID
+        }
+        assert len(as_numbers) == 2
+
+    def test_isp_b_ledger_counts_isp_c_as_external(self, report):
+        # Table 2 is from ISP-B's perspective: ISP-C traffic is not intra.
+        ledger = report.p4p.ledger
+        assert ledger.total > 0
+        # Some cross-provider traffic exists in a mixed swarm.
+        assert ledger.external_to_isp + ledger.isp_to_external > 0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            FieldTestConfig(isp_fraction=0.8, isp_c_fraction=0.5)

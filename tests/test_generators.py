@@ -1,0 +1,103 @@
+"""Tests for the synthetic ISP-A/B/C topology generators."""
+
+import pytest
+
+from repro.network.generators import (
+    US_METROS,
+    access_classes,
+    isp_a,
+    isp_b,
+    isp_c,
+    synthetic_isp,
+)
+from repro.network.routing import RoutingTable
+
+
+class TestSyntheticIsp:
+    def test_pop_count_honoured(self):
+        topo = synthetic_isp("t", 15, US_METROS, n_hubs=4, as_number=1, seed=0)
+        assert len(topo.nodes) == 15
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_isp("t", 12, US_METROS, n_hubs=3, as_number=1, seed=5)
+        b = synthetic_isp("t", 12, US_METROS, n_hubs=3, as_number=1, seed=5)
+        assert set(a.links) == set(b.links)
+        assert all(
+            a.links[key].distance == pytest.approx(b.links[key].distance)
+            for key in a.links
+        )
+
+    def test_different_seeds_differ(self):
+        a = synthetic_isp("t", 20, US_METROS, n_hubs=6, as_number=1, seed=1)
+        b = synthetic_isp("t", 20, US_METROS, n_hubs=6, as_number=1, seed=2)
+        assert set(a.links) != set(b.links) or any(
+            a.links[key].distance != b.links[key].distance for key in a.links
+        )
+
+    def test_connected(self):
+        topo = synthetic_isp("t", 30, US_METROS, n_hubs=5, as_number=1, seed=3)
+        table = RoutingTable.build(topo)
+        pids = topo.pids
+        assert all(table.has_route(pids[0], pid) for pid in pids)
+
+    def test_too_few_hubs_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_isp("t", 10, US_METROS, n_hubs=2, as_number=1, seed=0)
+
+    def test_more_hubs_than_pops_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_isp("t", 3, US_METROS, n_hubs=4, as_number=1, seed=0)
+
+    def test_links_symmetric(self):
+        topo = synthetic_isp("t", 25, US_METROS, n_hubs=6, as_number=1, seed=4)
+        for (src, dst) in topo.links:
+            assert topo.has_link(dst, src)
+
+    def test_ospf_weights_track_distance(self):
+        topo = synthetic_isp("t", 25, US_METROS, n_hubs=6, as_number=1, seed=4)
+        for link in topo.links.values():
+            assert link.ospf_weight == pytest.approx(max(1.0, link.distance))
+
+
+class TestNamedIsps:
+    def test_isp_a_table1(self):
+        assert len(isp_a().nodes) == 20
+
+    def test_isp_b_table1(self):
+        assert len(isp_b().nodes) == 52
+
+    def test_isp_c_table1(self):
+        assert len(isp_c().nodes) == 37
+
+    def test_isp_b_metros_have_two_pops(self):
+        topo = isp_b()
+        by_metro = {}
+        for node in topo.nodes.values():
+            by_metro.setdefault(node.metro, []).append(node.pid)
+        assert all(len(pids) == 2 for pids in by_metro.values())
+
+    def test_distinct_as_numbers(self):
+        assert len({isp_a().node(isp_a().pids[0]).as_number,
+                    isp_b().node(isp_b().pids[0]).as_number,
+                    isp_c().node(isp_c().pids[0]).as_number}) == 3
+
+
+class TestAccessClasses:
+    def test_fraction_respected(self):
+        topo = isp_b()
+        classes = access_classes(topo, fttp_fraction=0.25, seed=1)
+        n_fttp = sum(1 for value in classes.values() if value == "fttp")
+        assert n_fttp == round(0.25 * len(topo.aggregation_pids))
+
+    def test_all_pids_covered(self):
+        topo = isp_a()
+        classes = access_classes(topo)
+        assert set(classes) == set(topo.aggregation_pids)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            access_classes(isp_a(), fttp_fraction=1.5)
+
+    def test_deterministic(self):
+        topo = isp_b()
+        assert access_classes(topo, seed=9) == access_classes(topo, seed=9)

@@ -1,0 +1,114 @@
+"""Tests for gossip distribution and the ASCII plotting helpers."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.pdistance import PDistanceMap
+from repro.metrics.ascii_plot import ascii_bars, ascii_cdf, ascii_plot
+from repro.portal.gossip import GossipSwarm, VersionedView
+
+
+def tiny_view(scale=1.0):
+    return PDistanceMap(
+        pids=("A", "B"), distances={("A", "B"): scale, ("B", "A"): scale}
+    )
+
+
+class TestGossip:
+    def make_swarm(self, n=50, fanout=3):
+        swarm = GossipSwarm(fanout=fanout)
+        for peer_id in range(n):
+            swarm.add_peer(peer_id)
+        return swarm
+
+    def test_full_coverage_from_one_seed(self):
+        swarm = self.make_swarm(n=60)
+        swarm.seed(0, VersionedView(version=1, view=tiny_view()))
+        swarm.run_until_converged(random.Random(1))
+        assert swarm.coverage(1) == 1.0
+
+    def test_convergence_is_logarithmic(self):
+        swarm = self.make_swarm(n=200, fanout=3)
+        swarm.seed(0, VersionedView(version=1, view=tiny_view()))
+        rounds = swarm.run_until_converged(random.Random(2))
+        # ~log_3(200) + slack; far below linear.
+        assert rounds <= 4 * math.ceil(math.log(200, 3))
+
+    def test_newer_version_displaces_older(self):
+        swarm = self.make_swarm(n=40)
+        swarm.seed(0, VersionedView(version=1, view=tiny_view(1.0)))
+        swarm.run_until_converged(random.Random(3))
+        swarm.seed(5, VersionedView(version=2, view=tiny_view(2.0)))
+        swarm.run_until_converged(random.Random(4))
+        assert swarm.coverage(2) == 1.0
+        assert all(peer.held.view.distance("A", "B") == 2.0 for peer in swarm.peers.values())
+
+    def test_stale_version_never_adopted(self):
+        swarm = self.make_swarm(n=10)
+        swarm.seed(0, VersionedView(version=5, view=tiny_view()))
+        swarm.run_until_converged(random.Random(5))
+        swarm.seed(3, VersionedView(version=2, view=tiny_view(9.0)))
+        swarm.run_until_converged(random.Random(6))
+        assert all(peer.version == 5 for peer in swarm.peers.values())
+
+    def test_empty_swarm_round_is_noop(self):
+        assert GossipSwarm().run_round(random.Random(0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GossipSwarm(fanout=0)
+        swarm = self.make_swarm(n=2)
+        with pytest.raises(ValueError):
+            swarm.add_peer(0)
+        with pytest.raises(ValueError):
+            VersionedView(version=-1, view=tiny_view())
+
+    def test_coverage_partial(self):
+        swarm = self.make_swarm(n=4, fanout=1)
+        swarm.seed(0, VersionedView(version=1, view=tiny_view()))
+        assert swarm.coverage(1) == pytest.approx(0.25)
+
+
+class TestAsciiPlot:
+    def test_plot_contains_marks_and_legend(self):
+        chart = ascii_plot(
+            {"native": [(0, 0), (1, 1)], "p4p": [(0, 1), (1, 0)]},
+            width=30,
+            height=8,
+        )
+        assert "*" in chart and "o" in chart
+        assert "native" in chart and "p4p" in chart
+
+    def test_cdf_axis_labels(self):
+        chart = ascii_cdf({"x": [(1.0, 0.5), (2.0, 1.0)]})
+        assert "completion time" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_plot({"flat": [(0, 5), (1, 5), (2, 5)]}, width=20, height=5)
+        assert "flat" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"x": []})
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"x": [(0, 0)]}, width=2, height=2)
+
+    def test_bars(self):
+        chart = ascii_bars({"native": 100.0, "p4p": 25.0})
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_bars_zero_value(self):
+        chart = ascii_bars({"a": 0.0, "b": 1.0})
+        assert "0.0" in chart
+
+    def test_bars_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})

@@ -1,0 +1,74 @@
+"""Tests for virtual-ISP partitioning and interdomain link bookkeeping."""
+
+import pytest
+
+from repro.network.interdomain import (
+    ABILENE_CUT,
+    partition_virtual_isps,
+    set_virtual_capacities,
+)
+from repro.network.library import abilene
+
+
+class TestPartition:
+    def test_default_cut_splits_abilene(self):
+        partition = partition_virtual_isps(abilene())
+        sizes = sorted(len(side) for side in partition.components)
+        assert sum(sizes) == 11
+        assert sizes == [5, 6]
+
+    def test_cut_links_marked_interdomain(self):
+        partition = partition_virtual_isps(abilene())
+        topo = partition.topology
+        assert len(topo.interdomain_links) == 4  # 2 edges x 2 directions
+        for key in partition.cut_links:
+            assert topo.links[key].interdomain
+
+    def test_as_numbers_assigned(self):
+        partition = partition_virtual_isps(abilene(), as_numbers=(100, 200))
+        west, east = partition.components
+        assert all(partition.as_of(pid) == 100 for pid in west)
+        assert all(partition.as_of(pid) == 200 for pid in east)
+
+    def test_same_side(self):
+        partition = partition_virtual_isps(abilene())
+        assert partition.same_side("SEAT", "LOSA")
+        assert not partition.same_side("SEAT", "NYCM")
+
+    def test_non_cut_rejected(self):
+        # A single Abilene edge is not a 2-way cut.
+        with pytest.raises(ValueError):
+            partition_virtual_isps(abilene(), cut_edges=(("SEAT", "SNVA"),))
+
+    def test_unknown_edge_rejected(self):
+        with pytest.raises(ValueError):
+            partition_virtual_isps(abilene(), cut_edges=(("SEAT", "NYCM"),))
+
+    def test_first_component_holds_first_cut_src(self):
+        partition = partition_virtual_isps(abilene())
+        assert ABILENE_CUT[0][0] in partition.components[0]
+
+
+class TestVirtualCapacities:
+    def test_set_on_interdomain_links(self):
+        partition = partition_virtual_isps(abilene())
+        key = partition.cut_links[0]
+        set_virtual_capacities(partition.topology, {key: 123.0})
+        assert partition.topology.links[key].virtual_capacity == 123.0
+
+    def test_rejects_intradomain_target(self):
+        topo = abilene()
+        partition_virtual_isps(topo)
+        with pytest.raises(ValueError):
+            set_virtual_capacities(topo, {("SEAT", "SNVA"): 10.0})
+
+    def test_rejects_negative(self):
+        partition = partition_virtual_isps(abilene())
+        key = partition.cut_links[0]
+        with pytest.raises(ValueError):
+            set_virtual_capacities(partition.topology, {key: -1.0})
+
+    def test_unknown_link_raises(self):
+        partition = partition_virtual_isps(abilene())
+        with pytest.raises(KeyError):
+            set_virtual_capacities(partition.topology, {("X", "Y"): 1.0})

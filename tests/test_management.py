@@ -1,0 +1,190 @@
+"""Tests for the management plane: neutrality verification and monitors."""
+
+import pytest
+
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.core.pdistance import PDistanceMap, external_view
+from repro.management.monitors import (
+    LoadAuditReport,
+    PriceStabilityMonitor,
+    UpdateLivenessMonitor,
+    audit_loads,
+)
+from repro.management.neutrality import (
+    verify_equal_treatment,
+    verify_link_consistency,
+)
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+
+
+class TestLinkConsistency:
+    def test_honest_view_is_consistent(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        prices = {key: link.distance for key, link in topo.links.items()}
+        view = external_view(topo, routing, prices)
+        report = verify_link_consistency(view, topo, routing, tolerance=1e-6)
+        assert report.consistent
+        assert report.max_residual < 1e-6
+        assert report.link_prices is not None
+
+    def test_discriminatory_view_detected(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        prices = {key: 1.0 for key in topo.links}
+        view = external_view(topo, routing, prices)
+        # Tamper: one specific pair quoted 5x what any link model allows.
+        tampered = dict(view.distances)
+        tampered[("SEAT", "NYCM")] = view.distance("SEAT", "NYCM") * 5.0
+        bad_view = PDistanceMap(pids=view.pids, distances=tampered)
+        report = verify_link_consistency(bad_view, topo, routing, tolerance=1e-3)
+        assert not report.consistent
+        assert report.worst_pair is not None
+
+    def test_perturbed_view_passes_with_declared_tolerance(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        prices = {key: link.distance for key, link in topo.links.items()}
+        view = external_view(topo, routing, prices).perturbed(0.02, seed=1)
+        typical = max(view.distances.values())
+        report = verify_link_consistency(
+            view, topo, routing, tolerance=0.05 * typical
+        )
+        assert report.consistent
+
+    def test_dynamic_itracker_views_are_consistent(self):
+        """Views the iTracker actually serves pass their own audit."""
+        topo = abilene()
+        itracker = ITracker(
+            topology=topo,
+            config=ITrackerConfig(mode=PriceMode.DYNAMIC, step_size=0.001),
+        )
+        itracker.observe_loads({("WASH", "NYCM"): 5000.0})
+        view = itracker.get_pdistances()
+        report = verify_link_consistency(view, topo, itracker.routing)
+        assert report.consistent
+
+    def test_unknown_pid_rejected(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        view = PDistanceMap(pids=("GHOST", "SEAT"), distances={
+            ("GHOST", "SEAT"): 1.0, ("SEAT", "GHOST"): 1.0,
+        })
+        with pytest.raises(KeyError):
+            verify_link_consistency(view, topo, routing)
+
+    def test_negative_tolerance_rejected(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        view = external_view(topo, routing, {})
+        with pytest.raises(ValueError):
+            verify_link_consistency(view, topo, routing, tolerance=-1.0)
+
+
+class TestEqualTreatment:
+    def make_view(self, scale=1.0):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        prices = {key: scale * link.distance for key, link in topo.links.items()}
+        return external_view(topo, routing, prices)
+
+    def test_identical_views_pass(self):
+        report = verify_equal_treatment(self.make_view(), self.make_view())
+        assert report.equal
+        assert report.max_relative_gap == 0.0
+
+    def test_scaled_view_detected(self):
+        report = verify_equal_treatment(self.make_view(1.0), self.make_view(1.5))
+        assert not report.equal
+        assert report.max_relative_gap > 0.3
+
+    def test_perturbation_within_tolerance(self):
+        base = self.make_view()
+        noisy = base.perturbed(0.05, seed=2)
+        report = verify_equal_treatment(base, noisy, relative_tolerance=0.12)
+        assert report.equal
+
+    def test_mismatched_pid_sets_fail(self):
+        base = self.make_view()
+        sub = base.restricted_to(list(base.pids[:5]))
+        report = verify_equal_treatment(base, sub)
+        assert not report.equal
+
+
+class TestPriceStabilityMonitor:
+    def test_oscillation_detected(self):
+        monitor = PriceStabilityMonitor(window=10)
+        for i in range(10):
+            monitor.record({("A", "B"): 1.0 if i % 2 == 0 else 2.0})
+        assert ("A", "B") in monitor.oscillating_links()
+
+    def test_converging_series_clean(self):
+        monitor = PriceStabilityMonitor(window=10)
+        value = 2.0
+        for _ in range(10):
+            monitor.record({("A", "B"): value})
+            value = 1.0 + (value - 1.0) * 0.5
+        assert monitor.oscillating_links() == []
+
+    def test_flat_series_clean(self):
+        monitor = PriceStabilityMonitor()
+        for _ in range(12):
+            monitor.record({("A", "B"): 1.0})
+        assert monitor.oscillating_links() == []
+
+    def test_small_wiggle_ignored(self):
+        monitor = PriceStabilityMonitor(magnitude=0.05)
+        for i in range(12):
+            monitor.record({("A", "B"): 1.0 + 0.001 * (-1) ** i})
+        assert monitor.oscillating_links() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriceStabilityMonitor(window=2)
+        with pytest.raises(ValueError):
+            PriceStabilityMonitor(flip_threshold=0.0)
+
+
+class TestUpdateLiveness:
+    def test_fresh_tracker_not_stale(self):
+        monitor = UpdateLivenessMonitor(expected_period=30.0)
+        monitor.observe(0.0, version=1)
+        monitor.observe(30.0, version=2)
+        assert not monitor.is_stale(45.0)
+
+    def test_stalled_tracker_flagged(self):
+        monitor = UpdateLivenessMonitor(expected_period=30.0, grace_factor=2.0)
+        monitor.observe(0.0, version=1)
+        monitor.observe(100.0, version=1)  # version never moved
+        assert monitor.is_stale(100.0)
+
+    def test_no_observations_not_stale(self):
+        assert not UpdateLivenessMonitor(expected_period=30.0).is_stale(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpdateLivenessMonitor(expected_period=0.0)
+        with pytest.raises(ValueError):
+            UpdateLivenessMonitor(expected_period=1.0, grace_factor=0.5)
+
+
+class TestLoadAudit:
+    def test_exact_match(self):
+        report = audit_loads({("A", "B"): 10.0}, {("A", "B"): 10.0})
+        assert report.max_absolute_drift == 0.0
+        assert report.within(0.01)
+
+    def test_drift_reported(self):
+        report = audit_loads({("A", "B"): 10.0}, {("A", "B"): 20.0})
+        assert report.max_absolute_drift == 10.0
+        assert report.max_relative_drift == pytest.approx(0.5)
+        assert report.worst_link == ("A", "B")
+
+    def test_missing_links_count_as_zero(self):
+        report = audit_loads({("A", "B"): 5.0}, {})
+        assert report.max_absolute_drift == 5.0
+
+    def test_empty_is_clean(self):
+        report = audit_loads({}, {})
+        assert report.within(0.0)

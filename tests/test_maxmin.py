@@ -1,0 +1,116 @@
+"""Tests for max-min fair allocation (session-level TCP model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimization.maxmin import (
+    maxmin_rates,
+    maxmin_rates_reference,
+    verify_maxmin,
+)
+
+
+class TestMaxminBasics:
+    def test_single_link_shared_equally(self):
+        rates = maxmin_rates([[0], [0], [0]], [30.0])
+        assert np.allclose(rates, [10.0, 10.0, 10.0])
+
+    def test_disjoint_flows_get_full_capacity(self):
+        rates = maxmin_rates([[0], [1]], [10.0, 20.0])
+        assert np.allclose(rates, [10.0, 20.0])
+
+    def test_classic_line_network(self):
+        # Links A(cap 10) and B(cap 10); flow0 on both, flow1 on A, flow2 on B.
+        rates = maxmin_rates([[0, 1], [0], [1]], [10.0, 10.0])
+        assert np.allclose(rates, [5.0, 5.0, 5.0])
+
+    def test_unequal_bottlenecks(self):
+        # flow0 crosses tight link 0 (cap 2) and loose link 1; flow1 only link 1.
+        rates = maxmin_rates([[0, 1], [1]], [2.0, 10.0])
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+    def test_unconstrained_flow_is_infinite(self):
+        rates = maxmin_rates([[], [0]], [10.0])
+        assert np.isinf(rates[0])
+        assert rates[1] == pytest.approx(10.0)
+
+    def test_empty_flow_set(self):
+        assert maxmin_rates([], [10.0]).size == 0
+
+    def test_duplicate_link_entries_counted_once(self):
+        rates = maxmin_rates([[0, 0], [0]], [10.0])
+        assert np.allclose(rates, [5.0, 5.0])
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            maxmin_rates([[0]], [0.0])
+
+    def test_bad_link_index_rejected(self):
+        with pytest.raises(IndexError):
+            maxmin_rates([[5]], [10.0])
+
+
+class TestMaxminProperties:
+    @staticmethod
+    def scenarios():
+        return st.integers(min_value=1, max_value=6).flatmap(
+            lambda n_links: st.tuples(
+                st.lists(
+                    st.lists(
+                        st.integers(min_value=0, max_value=n_links - 1),
+                        min_size=1,
+                        max_size=n_links,
+                    ),
+                    min_size=1,
+                    max_size=12,
+                ),
+                st.lists(
+                    st.floats(min_value=0.5, max_value=100.0),
+                    min_size=n_links,
+                    max_size=n_links,
+                ),
+            )
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(scenarios())
+    def test_matches_reference_implementation(self, scenario):
+        flow_links, capacities = scenario
+        fast = maxmin_rates(flow_links, capacities)
+        slow = maxmin_rates_reference(flow_links, capacities)
+        assert np.allclose(fast, slow, rtol=1e-6, atol=1e-6)
+
+    @settings(max_examples=150, deadline=None)
+    @given(scenarios())
+    def test_allocation_is_maxmin(self, scenario):
+        flow_links, capacities = scenario
+        rates = maxmin_rates(flow_links, capacities)
+        assert verify_maxmin(flow_links, capacities, rates)
+
+    @settings(max_examples=100, deadline=None)
+    @given(scenarios())
+    def test_feasibility(self, scenario):
+        flow_links, capacities = scenario
+        rates = maxmin_rates(flow_links, capacities)
+        loads = np.zeros(len(capacities))
+        for links, rate in zip(flow_links, rates):
+            for link in set(links):
+                loads[link] += rate
+        assert np.all(loads <= np.asarray(capacities) * (1 + 1e-6) + 1e-6)
+
+
+class TestVerifier:
+    def test_accepts_optimal(self):
+        assert verify_maxmin([[0], [0]], [10.0], [5.0, 5.0])
+
+    def test_rejects_underallocation(self):
+        assert not verify_maxmin([[0], [0]], [10.0], [2.0, 2.0])
+
+    def test_rejects_infeasible(self):
+        assert not verify_maxmin([[0], [0]], [10.0], [8.0, 8.0])
+
+    def test_rejects_finite_rate_for_unconstrained(self):
+        assert not verify_maxmin([[]], [10.0], [5.0])

@@ -1,0 +1,207 @@
+"""Tests for parallel swarms sharing one network."""
+
+import random
+
+import pytest
+
+from repro.apptracker.selection import PeerInfo, RandomSelection
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+from repro.simulator.multiswarm import MultiSwarmSimulation, shared_substrate
+from repro.simulator.swarm import SwarmConfig, SwarmSimulation
+from repro.workloads.placement import place_peers
+
+
+def bottleneck_pair() -> Topology:
+    topo = Topology(name="pair")
+    topo.add_pid("L")
+    topo.add_pid("R")
+    topo.add_edge("L", "R", capacity=8.0)
+    return topo
+
+
+def make_swarm(topo, routing, net, engine, swarm_id, peer_ids, rng_seed):
+    config = SwarmConfig(
+        file_mbit=16.0, block_mbit=2.0, neighbors=6, join_window=1.0,
+        access_up_mbps=50.0, access_down_mbps=50.0, seed_up_mbps=50.0,
+        completion_quantum=0.05, rng_seed=rng_seed,
+    )
+    peers = [PeerInfo(peer_id=i, pid="L" if i % 2 else "R", as_number=0)
+             for i in peer_ids]
+    seed = PeerInfo(peer_id=peer_ids[0] - 1, pid="L", as_number=0)
+    return SwarmSimulation(
+        topo, routing, config, RandomSelection(), peers, [seed],
+        shared_net=net, shared_engine=engine, swarm_id=swarm_id,
+    )
+
+
+class TestConstruction:
+    def test_requires_shared_substrate(self):
+        topo = bottleneck_pair()
+        routing = RoutingTable.build(topo)
+        net, engine = shared_substrate()
+        shared = make_swarm(topo, routing, net, engine, "a", [1, 2, 3], 1)
+        config = SwarmConfig(neighbors=4, rng_seed=1)
+        solo = SwarmSimulation(
+            topo, routing, config, RandomSelection(),
+            [PeerInfo(peer_id=50, pid="L", as_number=0)],
+            [PeerInfo(peer_id=51, pid="R", as_number=0)],
+        )
+        with pytest.raises(ValueError):
+            MultiSwarmSimulation([shared, solo])
+
+    def test_duplicate_ids_rejected(self):
+        topo = bottleneck_pair()
+        routing = RoutingTable.build(topo)
+        net, engine = shared_substrate()
+        a = make_swarm(topo, routing, net, engine, "same", [1, 2, 3], 1)
+        b = make_swarm(topo, routing, net, engine, "same", [10, 11, 12], 2)
+        with pytest.raises(ValueError):
+            MultiSwarmSimulation([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiSwarmSimulation([])
+
+    def test_shared_swarm_cannot_run_alone(self):
+        topo = bottleneck_pair()
+        routing = RoutingTable.build(topo)
+        net, engine = shared_substrate()
+        swarm = make_swarm(topo, routing, net, engine, "a", [1, 2, 3], 1)
+        with pytest.raises(RuntimeError):
+            swarm.run()
+
+    def test_mismatched_shared_args_rejected(self):
+        topo = bottleneck_pair()
+        routing = RoutingTable.build(topo)
+        net, _ = shared_substrate()
+        config = SwarmConfig(neighbors=4, rng_seed=1)
+        with pytest.raises(ValueError):
+            SwarmSimulation(
+                topo, routing, config, RandomSelection(),
+                [PeerInfo(peer_id=1, pid="L", as_number=0)],
+                [PeerInfo(peer_id=0, pid="R", as_number=0)],
+                shared_net=net,
+            )
+
+
+class TestParallelRuns:
+    def test_both_swarms_complete(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        net, engine = shared_substrate()
+        rng = random.Random(2)
+        peers_a = place_peers(topo, 8, rng, first_id=100)
+        peers_b = place_peers(topo, 8, rng, first_id=200)
+        config = SwarmConfig(
+            file_mbit=16.0, block_mbit=2.0, neighbors=6, join_window=5.0,
+            access_up_mbps=10.0, access_down_mbps=20.0, seed_up_mbps=20.0,
+            completion_quantum=0.05, rng_seed=3,
+        )
+        seed_a = PeerInfo(peer_id=99, pid="CHIN", as_number=0)
+        seed_b = PeerInfo(peer_id=199, pid="CHIN", as_number=0)
+        swarm_a = SwarmSimulation(
+            topo, routing, config, RandomSelection(), peers_a, [seed_a],
+            shared_net=net, shared_engine=engine, swarm_id="a",
+        )
+        swarm_b = SwarmSimulation(
+            topo, routing, config, RandomSelection(), peers_b, [seed_b],
+            shared_net=net, shared_engine=engine, swarm_id="b",
+        )
+        results = MultiSwarmSimulation([swarm_a, swarm_b]).run(until=10_000.0)
+        assert len(results["a"].completion_times) == 8
+        assert len(results["b"].completion_times) == 8
+
+    def test_contention_slows_both(self):
+        """Two swarms over one 8 Mbps bottleneck finish slower than one
+        swarm alone -- the contention separate runs cannot express."""
+        topo = bottleneck_pair()
+        routing = RoutingTable.build(topo)
+
+        def run_alone():
+            solo_topo = bottleneck_pair()
+            solo_routing = RoutingTable.build(solo_topo)
+            config = SwarmConfig(
+                file_mbit=16.0, block_mbit=2.0, neighbors=6, join_window=1.0,
+                access_up_mbps=50.0, access_down_mbps=50.0, seed_up_mbps=50.0,
+                completion_quantum=0.05, rng_seed=5,
+            )
+            peers = [PeerInfo(peer_id=i, pid="L" if i % 2 else "R", as_number=0)
+                     for i in range(1, 7)]
+            seed = PeerInfo(peer_id=0, pid="L", as_number=0)
+            sim = SwarmSimulation(
+                solo_topo, solo_routing, config, RandomSelection(), peers, [seed]
+            )
+            return sim.run(until=10_000.0).mean_completion()
+
+        net, engine = shared_substrate()
+        swarm_a = make_swarm(topo, routing, net, engine, "a", list(range(1, 7)), 5)
+        swarm_b = make_swarm(
+            topo, routing, net, engine, "b", list(range(101, 107)), 6
+        )
+        results = MultiSwarmSimulation([swarm_a, swarm_b]).run(until=10_000.0)
+        alone = run_alone()
+        shared_mean = results["a"].mean_completion()
+        assert shared_mean > alone
+
+    def test_attributed_traffic_split_between_swarms(self):
+        topo = bottleneck_pair()
+        routing = RoutingTable.build(topo)
+        net, engine = shared_substrate()
+        swarm_a = make_swarm(topo, routing, net, engine, "a", [1, 2, 3, 4], 7)
+        swarm_b = make_swarm(topo, routing, net, engine, "b", [11, 12, 13, 14], 8)
+        results = MultiSwarmSimulation([swarm_a, swarm_b]).run(until=10_000.0)
+        total_a = sum(results["a"].link_traffic_mbit.values())
+        total_b = sum(results["b"].link_traffic_mbit.values())
+        assert total_a > 0 and total_b > 0
+        # Attribution covers completed blocks only; the shared net counters
+        # bound the sum from above.
+        net_total = sum(
+            volume
+            for name, volume in net.link_traffic().items()
+            if isinstance(name, tuple) and name[0] == "bb"
+        )
+        assert total_a + total_b <= net_total + 1e-6
+
+
+class TestEquivalence:
+    def test_single_swarm_shared_matches_solo(self):
+        """Driving one swarm through the coordinator reproduces the solo
+        run's completion times exactly (same seeds, same event order)."""
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        config = SwarmConfig(
+            file_mbit=16.0, block_mbit=2.0, neighbors=6, join_window=5.0,
+            access_up_mbps=10.0, access_down_mbps=20.0, seed_up_mbps=20.0,
+            completion_quantum=0.05, rng_seed=13,
+        )
+        rng = random.Random(4)
+        peers = place_peers(topo, 10, rng, first_id=1)
+        seed = PeerInfo(peer_id=0, pid="CHIN", as_number=0)
+
+        solo = SwarmSimulation(
+            topo, routing, config, RandomSelection(), peers, [seed]
+        ).run(until=10_000.0)
+
+        net, engine = shared_substrate()
+        shared_sim = SwarmSimulation(
+            topo, routing, config, RandomSelection(), peers, [seed],
+            shared_net=net, shared_engine=engine, swarm_id="only",
+        )
+        shared = MultiSwarmSimulation([shared_sim]).run(until=10_000.0)["only"]
+        assert shared.completion_times == solo.completion_times
+
+    def test_multiswarm_run_is_deterministic(self):
+        def run_once():
+            topo = bottleneck_pair()
+            routing = RoutingTable.build(topo)
+            net, engine = shared_substrate()
+            a = make_swarm(topo, routing, net, engine, "a", [1, 2, 3, 4], 21)
+            b = make_swarm(topo, routing, net, engine, "b", [11, 12, 13, 14], 22)
+            return MultiSwarmSimulation([a, b]).run(until=10_000.0)
+
+        first = run_once()
+        second = run_once()
+        assert first["a"].completion_times == second["a"].completion_times
+        assert first["b"].completion_times == second["b"].completion_times

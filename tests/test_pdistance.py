@@ -1,0 +1,166 @@
+"""Tests for the p4p-distance interface (views, PID mapping, coarsening)."""
+
+import pytest
+
+from repro.core.pdistance import (
+    PDistanceMap,
+    PidMap,
+    external_view,
+    uniform_pid_map,
+)
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+from repro.network.topology import NodeKind, Topology
+
+
+def square_topology():
+    topo = Topology()
+    for pid in "ABCD":
+        topo.add_pid(pid)
+    topo.add_edge("A", "B", capacity=10.0)
+    topo.add_edge("B", "C", capacity=10.0)
+    topo.add_edge("C", "D", capacity=10.0)
+    topo.add_edge("D", "A", capacity=10.0)
+    return topo
+
+
+class TestPDistanceMap:
+    def make_map(self):
+        return PDistanceMap(
+            pids=("A", "B", "C"),
+            distances={
+                ("A", "B"): 1.0,
+                ("A", "C"): 3.0,
+                ("B", "A"): 1.0,
+                ("B", "C"): 2.0,
+                ("C", "A"): 3.0,
+                ("C", "B"): 2.0,
+            },
+        )
+
+    def test_distance_lookup(self):
+        assert self.make_map().distance("A", "C") == 3.0
+
+    def test_intra_pid_defaults_to_zero(self):
+        assert self.make_map().distance("A", "A") == 0.0
+
+    def test_explicit_intra_pid(self):
+        pmap = PDistanceMap(pids=("A",), distances={("A", "A"): 5.0})
+        assert pmap.distance("A", "A") == 5.0
+
+    def test_row(self):
+        assert self.make_map().row("A") == {"B": 1.0, "C": 3.0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PDistanceMap(pids=("A", "B"), distances={("A", "B"): -1.0})
+
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(ValueError):
+            PDistanceMap(pids=("A",), distances={("A", "Z"): 1.0})
+
+    def test_to_ranks(self):
+        ranks = self.make_map().to_ranks()
+        assert ranks.distance("A", "B") == 1.0
+        assert ranks.distance("A", "C") == 2.0
+
+    def test_to_ranks_ties_share_rank(self):
+        pmap = PDistanceMap(
+            pids=("A", "B", "C"),
+            distances={
+                ("A", "B"): 2.0,
+                ("A", "C"): 2.0,
+                ("B", "A"): 1.0,
+                ("B", "C"): 1.0,
+                ("C", "A"): 1.0,
+                ("C", "B"): 1.0,
+            },
+        )
+        ranks = pmap.to_ranks()
+        assert ranks.distance("A", "B") == 1.0
+        assert ranks.distance("A", "C") == 1.0
+
+    def test_perturbed_bounded(self):
+        pmap = self.make_map()
+        noisy = pmap.perturbed(0.1, seed=3)
+        for pair, value in pmap.distances.items():
+            assert abs(noisy.distances[pair] - value) <= 0.1 * value + 1e-12
+
+    def test_perturbed_rejects_bad_noise(self):
+        with pytest.raises(ValueError):
+            self.make_map().perturbed(1.5)
+
+    def test_restricted_to(self):
+        sub = self.make_map().restricted_to(["A", "B"])
+        assert sub.pids == ("A", "B")
+        assert ("A", "C") not in sub.distances
+
+
+class TestExternalView:
+    def test_aggregates_link_prices(self):
+        topo = square_topology()
+        routing = RoutingTable.build(topo)
+        prices = {key: 1.0 for key in topo.links}
+        view = external_view(topo, routing, prices)
+        # A -> C is two hops either way.
+        assert view.distance("A", "C") == pytest.approx(2.0)
+        assert view.distance("A", "B") == pytest.approx(1.0)
+
+    def test_cost_offsets_added(self):
+        topo = square_topology()
+        routing = RoutingTable.build(topo)
+        prices = {key: 0.0 for key in topo.links}
+        offsets = {key: 5.0 for key in topo.links}
+        view = external_view(topo, routing, prices, offsets)
+        assert view.distance("A", "B") == pytest.approx(5.0)
+
+    def test_missing_prices_default_zero(self):
+        topo = square_topology()
+        routing = RoutingTable.build(topo)
+        view = external_view(topo, routing, {})
+        assert view.distance("A", "C") == 0.0
+
+    def test_core_pids_hidden(self):
+        topo = square_topology()
+        topo.add_pid("core1", kind=NodeKind.CORE)
+        topo.add_edge("core1", "A", capacity=10.0)
+        routing = RoutingTable.build(topo)
+        view = external_view(topo, routing, {})
+        assert "core1" not in view.pids
+
+    def test_full_mesh_on_abilene(self):
+        topo = abilene()
+        routing = RoutingTable.build(topo)
+        view = external_view(topo, routing, {key: 1.0 for key in topo.links})
+        n = len(topo.aggregation_pids)
+        assert len(view.distances) == n * n  # includes p_ii entries
+        # p-distance equals hop count when every link is priced 1.
+        assert view.distance("SEAT", "NYCM") == routing.hop_count("SEAT", "NYCM")
+
+
+class TestPidMap:
+    def test_longest_prefix_match(self):
+        mapping = PidMap()
+        mapping.add_prefix("10.0.0.0/8", "coarse", 1)
+        mapping.add_prefix("10.1.0.0/16", "fine", 1)
+        assert mapping.lookup("10.1.2.3")[0] == "fine"
+        assert mapping.lookup("10.2.2.3")[0] == "coarse"
+
+    def test_unmapped_raises(self):
+        mapping = PidMap()
+        mapping.add_prefix("10.0.0.0/8", "x")
+        with pytest.raises(KeyError):
+            mapping.lookup("192.168.1.1")
+
+    def test_as_number_returned(self):
+        mapping = PidMap()
+        mapping.add_prefix("10.0.0.0/8", "x", as_number=65000)
+        assert mapping.lookup("10.0.0.1") == ("x", 65000)
+
+    def test_uniform_pid_map_covers_all_pids(self):
+        topo = abilene()
+        mapping = uniform_pid_map(topo)
+        assert len(mapping) == len(topo.aggregation_pids)
+        pid, as_number = mapping.lookup("10.0.0.1")
+        assert pid == topo.aggregation_pids[0]
+        assert as_number == topo.node(pid).as_number

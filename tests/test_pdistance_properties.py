@@ -1,0 +1,111 @@
+"""Property tests for the p-distance view transformations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pdistance import PDistanceMap
+
+
+def view_strategy(min_pids=2, max_pids=6):
+    return st.integers(min_value=min_pids, max_value=max_pids).flatmap(
+        lambda n: st.lists(
+            st.floats(min_value=0.0, max_value=1e4),
+            min_size=n * (n - 1),
+            max_size=n * (n - 1),
+        ).map(lambda values: _build_view(n, values))
+    )
+
+
+def _build_view(n, values):
+    pids = tuple(f"P{i}" for i in range(n))
+    distances = {}
+    index = 0
+    for a in pids:
+        for b in pids:
+            if a == b:
+                continue
+            distances[(a, b)] = values[index]
+            index += 1
+    return PDistanceMap(pids=pids, distances=distances)
+
+
+class TestRankProperties:
+    @settings(max_examples=60)
+    @given(view_strategy())
+    def test_ranks_preserve_strict_order(self, view):
+        ranks = view.to_ranks()
+        for src in view.pids:
+            row = view.row(src)
+            rank_row = ranks.row(src)
+            for a in row:
+                for b in row:
+                    if row[a] < row[b] - 1e-9:
+                        assert rank_row[a] < rank_row[b]
+
+    @settings(max_examples=60)
+    @given(view_strategy())
+    def test_ranks_are_positive_integers_starting_at_one(self, view):
+        ranks = view.to_ranks()
+        for src in view.pids:
+            values = list(ranks.row(src).values())
+            assert min(values) == 1.0
+            assert all(float(v).is_integer() and v >= 1 for v in values)
+
+    @settings(max_examples=40)
+    @given(view_strategy())
+    def test_rank_idempotence_on_orders(self, view):
+        """Ranking twice yields the same ranks (ranks of ranks = ranks)."""
+        once = view.to_ranks()
+        twice = once.to_ranks()
+        assert once.distances == twice.distances
+
+
+class TestPerturbationProperties:
+    @settings(max_examples=60)
+    @given(view_strategy(), st.floats(min_value=0.0, max_value=0.49),
+           st.integers(min_value=0, max_value=100))
+    def test_noise_bounded_and_nonnegative(self, view, noise, seed):
+        noisy = view.perturbed(noise, seed=seed)
+        for pair, value in view.distances.items():
+            assert noisy.distances[pair] >= 0
+            assert abs(noisy.distances[pair] - value) <= noise * value + 1e-9
+
+    @settings(max_examples=30)
+    @given(view_strategy(), st.integers(min_value=0, max_value=50))
+    def test_zero_noise_is_identity(self, view, seed):
+        assert view.perturbed(0.0, seed=seed).distances == view.distances
+
+    @settings(max_examples=30)
+    @given(view_strategy(), st.integers(min_value=0, max_value=50))
+    def test_same_seed_same_noise(self, view, seed):
+        a = view.perturbed(0.1, seed=seed)
+        b = view.perturbed(0.1, seed=seed)
+        assert a.distances == b.distances
+
+
+class TestRestrictionProperties:
+    @settings(max_examples=60)
+    @given(view_strategy(min_pids=3))
+    def test_restriction_preserves_distances(self, view):
+        keep = list(view.pids[:2])
+        sub = view.restricted_to(keep)
+        assert set(sub.pids) == set(keep)
+        for src in keep:
+            for dst in keep:
+                if src != dst:
+                    assert sub.distance(src, dst) == view.distance(src, dst)
+
+    @settings(max_examples=30)
+    @given(view_strategy(min_pids=3))
+    def test_restriction_then_ranks_consistent(self, view):
+        """Restricting and ranking commute on the surviving pairs' order."""
+        keep = list(view.pids[:3])
+        ranked_sub = view.restricted_to(keep).to_ranks()
+        for src in keep:
+            row = {dst: view.distance(src, dst) for dst in keep if dst != src}
+            rank_row = ranked_sub.row(src)
+            for a in row:
+                for b in row:
+                    if row[a] < row[b] - 1e-9:
+                        assert rank_row[a] < rank_row[b]

@@ -1,0 +1,189 @@
+"""Tests for performance-map combination and black-box selection (Sec. 4)."""
+
+import random
+
+import pytest
+
+from repro.apptracker.performance import (
+    BlackBoxSelection,
+    CombinedSelection,
+    PathPerformance,
+    PerformanceMap,
+    backoff_rate_hints,
+)
+from repro.apptracker.selection import PeerInfo, RandomSelection
+from repro.core.pdistance import PDistanceMap
+
+
+def flat_view(pids, overrides=None):
+    distances = {}
+    for a in pids:
+        for b in pids:
+            distances[(a, b)] = 0.0 if a == b else 1.0
+    distances.update(overrides or {})
+    return PDistanceMap(pids=tuple(pids), distances=distances)
+
+
+def peers_at(spec):
+    peers = []
+    next_id = 0
+    for count, pid in spec:
+        for _ in range(count):
+            peers.append(PeerInfo(peer_id=next_id, pid=pid, as_number=1))
+            next_id += 1
+    return peers
+
+
+class TestPathPerformance:
+    def test_badness_orders_sensibly(self):
+        fast = PathPerformance(delay_ms=5.0, bandwidth_mbps=100.0, loss_rate=0.0)
+        slow = PathPerformance(delay_ms=200.0, bandwidth_mbps=1.0, loss_rate=0.05)
+        assert fast.badness() < slow.badness()
+
+    def test_default_is_neutral(self):
+        assert PathPerformance().badness() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathPerformance(delay_ms=-1.0)
+        with pytest.raises(ValueError):
+            PathPerformance(bandwidth_mbps=0.0)
+        with pytest.raises(ValueError):
+            PathPerformance(loss_rate=1.0)
+
+
+class TestCombinedSelection:
+    def test_pure_network_weight_follows_pdistance(self):
+        view = flat_view(["A", "B", "C"], {("A", "B"): 1.0, ("A", "C"): 10.0})
+        perf = PerformanceMap()
+        # Performance says C is great, network says B: weight 1.0 -> B wins.
+        perf.set("A", "C", PathPerformance(delay_ms=1.0))
+        perf.set("A", "B", PathPerformance(delay_ms=500.0))
+        selector = CombinedSelection(pdistance=view, performance=perf, network_weight=1.0)
+        client = PeerInfo(peer_id=99, pid="A", as_number=1)
+        candidates = peers_at([(5, "B"), (5, "C")])
+        chosen = selector.select(client, candidates, 5, random.Random(0))
+        assert all(peer.pid == "B" for peer in chosen)
+
+    def test_pure_performance_weight_ignores_pdistance(self):
+        view = flat_view(["A", "B", "C"], {("A", "B"): 1.0, ("A", "C"): 10.0})
+        perf = PerformanceMap()
+        perf.set("A", "C", PathPerformance(delay_ms=1.0))
+        perf.set("A", "B", PathPerformance(delay_ms=500.0))
+        selector = CombinedSelection(pdistance=view, performance=perf, network_weight=0.0)
+        client = PeerInfo(peer_id=99, pid="A", as_number=1)
+        candidates = peers_at([(5, "B"), (5, "C")])
+        chosen = selector.select(client, candidates, 5, random.Random(0))
+        assert all(peer.pid == "C" for peer in chosen)
+
+    def test_small_pool_returned_whole(self):
+        view = flat_view(["A", "B"])
+        selector = CombinedSelection(pdistance=view, performance=PerformanceMap())
+        client = PeerInfo(peer_id=99, pid="A", as_number=1)
+        candidates = peers_at([(2, "B")])
+        assert len(selector.select(client, candidates, 10, random.Random(0))) == 2
+
+    def test_unknown_pid_gets_neutral_network_score(self):
+        view = flat_view(["A", "B"])
+        selector = CombinedSelection(pdistance=view, performance=PerformanceMap())
+        client = PeerInfo(peer_id=99, pid="A", as_number=1)
+        candidates = peers_at([(3, "B"), (3, "GHOST")])
+        chosen = selector.select(client, candidates, 4, random.Random(0))
+        assert len(chosen) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CombinedSelection(
+                pdistance=flat_view(["A"]), performance=PerformanceMap(),
+                network_weight=2.0,
+            )
+
+
+class TestBackoffHints:
+    def test_cheap_paths_full_rate(self):
+        view = flat_view(
+            ["A", "B", "C", "D"],
+            {("A", "B"): 1.0, ("A", "C"): 5.0, ("A", "D"): 9.0},
+        )
+        hints = backoff_rate_hints(view, "A", ["B", "C", "D"], full_rate_quantile=0.4)
+        assert hints["B"] == 1.0
+        assert hints["D"] < hints["C"] <= 1.0
+
+    def test_floor_respected(self):
+        view = flat_view(["A", "B", "C"], {("A", "B"): 1.0, ("A", "C"): 100.0})
+        hints = backoff_rate_hints(view, "A", ["B", "C"], full_rate_quantile=0.0, floor=0.2)
+        assert hints["C"] == pytest.approx(0.2)
+
+    def test_uniform_distances_no_backoff(self):
+        view = flat_view(["A", "B", "C"])
+        hints = backoff_rate_hints(view, "A", ["B", "C"])
+        assert all(value == 1.0 for value in hints.values())
+
+    def test_empty(self):
+        assert backoff_rate_hints(flat_view(["A"]), "A", []) == {}
+
+    def test_validation(self):
+        view = flat_view(["A", "B"])
+        with pytest.raises(ValueError):
+            backoff_rate_hints(view, "A", ["B"], full_rate_quantile=2.0)
+        with pytest.raises(ValueError):
+            backoff_rate_hints(view, "A", ["B"], floor=0.0)
+
+
+class TestBlackBoxSelection:
+    def test_multiple_attempts_lower_cost(self):
+        view = flat_view(
+            ["A", "B", "C"],
+            {("A", "B"): 1.0, ("A", "C"): 50.0},
+        )
+        client = PeerInfo(peer_id=99, pid="A", as_number=1)
+        candidates = peers_at([(10, "B"), (10, "C")])
+        rng_single = random.Random(7)
+        rng_multi = random.Random(7)
+        single = BlackBoxSelection(
+            inner=RandomSelection(), pdistance=view, attempts=1
+        )
+        multi = BlackBoxSelection(
+            inner=RandomSelection(), pdistance=view, attempts=10
+        )
+        cost_single = single.total_cost(
+            client, single.select(client, candidates, 6, rng_single)
+        )
+        cost_multi = multi.total_cost(
+            client, multi.select(client, candidates, 6, rng_multi)
+        )
+        assert cost_multi <= cost_single
+
+    def test_preserves_inner_contract(self):
+        view = flat_view(["A", "B"])
+        selector = BlackBoxSelection(
+            inner=RandomSelection(), pdistance=view, attempts=3
+        )
+        client = PeerInfo(peer_id=99, pid="A", as_number=1)
+        candidates = peers_at([(8, "B")])
+        chosen = selector.select(client, candidates, 4, random.Random(1))
+        assert len(chosen) == 4
+        assert len({p.peer_id for p in chosen}) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlackBoxSelection(inner=RandomSelection(), pdistance=flat_view(["A"]), attempts=0)
+
+    def test_statistical_improvement(self):
+        """Over many requests, 10-attempt selection beats 1-attempt on
+        average total p-distance (the Sec. 4 claim)."""
+        view = flat_view(["A", "B", "C"], {("A", "B"): 1.0, ("A", "C"): 10.0})
+        client = PeerInfo(peer_id=99, pid="A", as_number=1)
+        candidates = peers_at([(6, "B"), (6, "C")])
+        single_total = 0.0
+        multi_total = 0.0
+        for seed in range(30):
+            single = BlackBoxSelection(inner=RandomSelection(), pdistance=view, attempts=1)
+            multi = BlackBoxSelection(inner=RandomSelection(), pdistance=view, attempts=8)
+            single_total += single.total_cost(
+                client, single.select(client, candidates, 4, random.Random(seed))
+            )
+            multi_total += multi.total_cost(
+                client, multi.select(client, candidates, 4, random.Random(1000 + seed))
+            )
+        assert multi_total < single_total

@@ -1,0 +1,199 @@
+"""Tests for the portal wire protocol, server, client, and integrator."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.capability import Capability, CapabilityKind
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.core.pdistance import PDistanceMap, uniform_pid_map
+from repro.core.policy import NetworkPolicy, TimeOfDayPolicy
+from repro.network.library import abilene
+from repro.portal import protocol
+from repro.portal.client import (
+    Integrator,
+    PortalClient,
+    PortalClientError,
+    clear_registry,
+    discover_itracker,
+    register_itracker,
+)
+from repro.portal.server import PortalServer
+
+
+@pytest.fixture
+def itracker():
+    topo = abilene()
+    tracker = ITracker(
+        topology=topo,
+        config=ITrackerConfig(mode=PriceMode.HOP_COUNT),
+        pid_map=uniform_pid_map(topo),
+    )
+    tracker.capabilities.add(Capability(CapabilityKind.CACHE, pid="NYCM", capacity_mbps=500))
+    tracker.policy.add_time_of_day(
+        TimeOfDayPolicy(link=("WASH", "NYCM"), avoid_windows=((18.0, 23.0),))
+    )
+    return tracker
+
+
+@pytest.fixture
+def portal(itracker):
+    with PortalServer(itracker) as server:
+        yield server
+
+
+class TestProtocol:
+    def test_frame_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"method": "ping", "params": {"x": 1}}
+            a.sendall(protocol.encode_frame(message))
+            assert protocol.read_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert protocol.read_frame(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            frame = protocol.encode_frame({"method": "x"})
+            a.sendall(frame[: len(frame) - 2])
+            a.close()
+            with pytest.raises(protocol.ProtocolError):
+                protocol.read_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_frame({"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)})
+
+    def test_pdistance_round_trip(self):
+        view = PDistanceMap(
+            pids=("A", "B"),
+            distances={("A", "B"): 1.5, ("B", "A"): 2.5, ("A", "A"): 0.0, ("B", "B"): 0.0},
+        )
+        wire = protocol.pdistance_to_wire(view)
+        restored = protocol.pdistance_from_wire(wire)
+        assert restored.distance("A", "B") == 1.5
+        assert restored.distance("B", "A") == 2.5
+
+    def test_bad_pdistance_document_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.pdistance_from_wire({"pids": ["A"]})
+
+
+class TestPortalEndToEnd:
+    def test_get_pdistances(self, portal, itracker):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            view = client.get_pdistances()
+            local = itracker.get_pdistances()
+            assert view.distance("SEAT", "NYCM") == pytest.approx(
+                local.distance("SEAT", "NYCM")
+            )
+
+    def test_get_pdistances_restricted(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            view = client.get_pdistances(pids=["SEAT", "NYCM"])
+            assert set(view.pids) == {"SEAT", "NYCM"}
+
+    def test_view_cached_by_version(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            first = client.get_pdistances()
+            second = client.get_pdistances()
+            assert first is second  # same cached object
+
+    def test_get_policy(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            policy = client.get_policy()
+            assert policy.links_to_avoid(19.0) == [("WASH", "NYCM")]
+
+    def test_get_capabilities(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            found = client.get_capabilities("anyone", kind="cache")
+            assert len(found) == 1
+            assert found[0]["pid"] == "NYCM"
+
+    def test_lookup_pid(self, portal, itracker):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            pid, as_number = client.lookup_pid("10.0.0.9")
+            assert pid == itracker.topology.aggregation_pids[0]
+
+    def test_unknown_method_is_error(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            with pytest.raises(PortalClientError):
+                client._call("no_such_method")
+
+    def test_missing_param_is_error(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            with pytest.raises(PortalClientError):
+                client._call("lookup_pid")
+
+    def test_multiple_clients_concurrently(self, portal):
+        host, port = portal.address
+        errors = []
+
+        def worker():
+            try:
+                with PortalClient(host, port) as client:
+                    for _ in range(5):
+                        client.get_version()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestIntegrator:
+    def test_collects_views_per_as(self, itracker):
+        with PortalServer(itracker) as server:
+            host, port = server.address
+            integrator = Integrator()
+            integrator.add(11537, PortalClient(host, port))
+            views = integrator.views()
+            assert 11537 in views
+            integrator.close()
+
+    def test_dead_portal_skipped(self, itracker):
+        server = PortalServer(itracker)
+        host, port = server.address
+        client = PortalClient(host, port)
+        integrator = Integrator()
+        integrator.add(1, client)
+        server.close()
+        client.close()
+        assert integrator.views() == {}
+
+
+class TestDiscovery:
+    def test_register_and_discover(self):
+        clear_registry()
+        register_itracker("isp-b.example", "127.0.0.1", 4444)
+        assert discover_itracker("isp-b.example") == ("127.0.0.1", 4444)
+
+    def test_unknown_domain_raises(self):
+        clear_registry()
+        with pytest.raises(KeyError):
+            discover_itracker("nowhere.example")

@@ -1,0 +1,107 @@
+"""Tests for the weighted-simplex projection (p-distance update step)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimization.projection import project_weighted_simplex, uniform_price
+
+
+def vector_pairs(min_size=1, max_size=40):
+    """(q, c) pairs with positive weights c."""
+    return st.integers(min_value=min_size, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            st.lists(
+                st.floats(min_value=-50, max_value=50, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            ),
+            st.lists(
+                st.floats(min_value=0.1, max_value=100, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            ),
+        )
+    )
+
+
+class TestProjection:
+    def test_point_on_simplex_is_fixed(self):
+        c = np.array([1.0, 2.0, 3.0])
+        p = np.array([0.2, 0.1, 0.2])  # c @ p = 1
+        projected = project_weighted_simplex(p, c)
+        assert np.allclose(projected, p, atol=1e-9)
+
+    def test_uniform_weights_reduce_to_plain_simplex(self):
+        q = np.array([0.5, 0.5, 0.5])
+        c = np.ones(3)
+        projected = project_weighted_simplex(q, c)
+        assert np.allclose(projected, [1 / 3, 1 / 3, 1 / 3])
+
+    def test_negative_coordinates_clipped(self):
+        q = np.array([-5.0, 10.0])
+        c = np.array([1.0, 1.0])
+        projected = project_weighted_simplex(q, c)
+        assert projected[0] == 0.0
+        assert projected[1] == pytest.approx(1.0)
+
+    def test_single_coordinate(self):
+        projected = project_weighted_simplex(np.array([7.0]), np.array([4.0]))
+        assert projected[0] == pytest.approx(0.25)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            project_weighted_simplex(np.ones(3), np.ones(2))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            project_weighted_simplex(np.ones(2), np.array([1.0, 0.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            project_weighted_simplex(np.zeros(0), np.zeros(0))
+
+    @settings(max_examples=200)
+    @given(vector_pairs())
+    def test_feasibility(self, pair):
+        q, c = np.array(pair[0]), np.array(pair[1])
+        p = project_weighted_simplex(q, c)
+        assert np.all(p >= 0)
+        assert float(c @ p) == pytest.approx(1.0, abs=1e-8)
+
+    @settings(max_examples=100)
+    @given(vector_pairs(min_size=2, max_size=15))
+    def test_optimality_against_random_feasible_points(self, pair):
+        """No random feasible point is closer to q than the projection."""
+        q, c = np.array(pair[0]), np.array(pair[1])
+        p = project_weighted_simplex(q, c)
+        best = float(np.sum((p - q) ** 2))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            candidate = rng.uniform(0, 1, size=q.shape)
+            candidate /= float(c @ candidate)
+            assert float(np.sum((candidate - q) ** 2)) >= best - 1e-7
+
+    @settings(max_examples=100)
+    @given(vector_pairs())
+    def test_idempotent(self, pair):
+        q, c = np.array(pair[0]), np.array(pair[1])
+        p = project_weighted_simplex(q, c)
+        again = project_weighted_simplex(p, c)
+        assert np.allclose(p, again, atol=1e-7)
+
+
+class TestUniformPrice:
+    def test_is_feasible(self):
+        c = np.array([2.0, 3.0, 5.0])
+        p = uniform_price(c)
+        assert float(c @ p) == pytest.approx(1.0)
+
+    def test_uniform(self):
+        p = uniform_price(np.array([1.0, 9.0]))
+        assert p[0] == p[1]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            uniform_price(np.array([1.0, -1.0]))

@@ -1,0 +1,60 @@
+"""Public-API surface tests: imports, exports, and basic composition."""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_minimal_composition(self):
+        """The README quickstart works via the top-level namespace only."""
+        itracker = repro.ITracker(
+            topology=repro.abilene(),
+            config=repro.ITrackerConfig(mode=repro.PriceMode.DYNAMIC),
+        )
+        itracker.warm_start()
+        pids = ["SEAT", "NYCM", "CHIN"]
+        session = repro.SessionDemand(
+            name="swarm",
+            uploads={pid: 100.0 for pid in pids},
+            downloads={pid: 100.0 for pid in pids},
+        )
+        view = itracker.get_pdistances(pids=pids)
+        pattern = repro.min_cost_traffic(session, view, beta=0.9)
+        assert pattern.total() > 0
+        assert itracker.observe_loads(pattern.link_loads(itracker.routing))
+
+    def test_topology_builders_exported(self):
+        assert len(repro.isp_a().nodes) == 20
+        assert len(repro.isp_b().nodes) == 52
+        assert len(repro.isp_c().nodes) == 37
+
+    def test_subpackages_importable(self):
+        import repro.apptracker.selection
+        import repro.core.embedding
+        import repro.dataplane.shaping
+        import repro.dht.kademlia
+        import repro.experiments
+        import repro.management.neutrality
+        import repro.metrics
+        import repro.portal.alto
+        import repro.simulator.swarm
+        import repro.tools.cli
+        import repro.workloads
+
+    def test_every_public_module_has_docstring(self):
+        import importlib
+        import pkgutil
+
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            assert module.__doc__, f"{module_info.name} lacks a docstring"

@@ -1,0 +1,97 @@
+"""Property tests for routing: cross-checked against networkx Dijkstra."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+
+
+def random_topology(n_nodes: int, edge_fraction: float, seed: int) -> Topology:
+    """Connected random topology with random positive OSPF weights."""
+    rng = random.Random(seed)
+    topo = Topology(name=f"rand-{seed}")
+    pids = [f"N{i:02d}" for i in range(n_nodes)]
+    for pid in pids:
+        topo.add_pid(pid)
+    # Spanning chain guarantees connectivity; extra random edges densify.
+    for a, b in zip(pids, pids[1:]):
+        topo.add_edge(a, b, capacity=10.0, ospf_weight=rng.uniform(1.0, 10.0))
+    for i in range(n_nodes):
+        for j in range(i + 2, n_nodes):
+            if rng.random() < edge_fraction:
+                topo.add_edge(
+                    pids[i], pids[j], capacity=10.0, ospf_weight=rng.uniform(1.0, 10.0)
+                )
+    return topo
+
+
+def to_networkx(topo: Topology) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(topo.pids)
+    for link in topo.links.values():
+        graph.add_edge(link.src, link.dst, weight=link.ospf_weight)
+    return graph
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=14),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_shortest_path_costs_match(self, n_nodes, edge_fraction, seed):
+        topo = random_topology(n_nodes, edge_fraction, seed)
+        table = RoutingTable.build(topo)
+        graph = to_networkx(topo)
+        lengths = dict(nx.all_pairs_dijkstra_path_length(graph))
+        for src in topo.pids:
+            for dst in topo.pids:
+                ours = sum(
+                    topo.links[key].ospf_weight for key in table.route(src, dst)
+                )
+                assert ours == pytest.approx(lengths[src][dst], rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.floats(min_value=0.0, max_value=0.4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_routes_are_contiguous_simple_paths(self, n_nodes, edge_fraction, seed):
+        topo = random_topology(n_nodes, edge_fraction, seed)
+        table = RoutingTable.build(topo)
+        for src in topo.pids:
+            for dst in topo.pids:
+                if src == dst:
+                    continue
+                route = table.route(src, dst)
+                assert route[0][0] == src
+                assert route[-1][1] == dst
+                for hop, nxt in zip(route, route[1:]):
+                    assert hop[1] == nxt[0]
+                visited = [src] + [hop[1] for hop in route]
+                assert len(visited) == len(set(visited))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_distance_symmetric_on_symmetric_weights(self, n_nodes, seed):
+        topo = random_topology(n_nodes, 0.3, seed)
+        table = RoutingTable.build(topo)
+        for src in topo.pids:
+            for dst in topo.pids:
+                forward = sum(
+                    topo.links[key].ospf_weight for key in table.route(src, dst)
+                )
+                backward = sum(
+                    topo.links[key].ospf_weight for key in table.route(dst, src)
+                )
+                assert forward == pytest.approx(backward)

@@ -1,0 +1,251 @@
+"""Tests for the BitTorrent swarm simulation."""
+
+import random
+
+import pytest
+
+from repro.apptracker.selection import PeerInfo, RandomSelection
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+from repro.simulator.swarm import SwarmConfig, SwarmSimulation
+from repro.workloads.placement import place_peers
+
+
+def tiny_topology():
+    topo = Topology(name="pair")
+    topo.add_pid("L")
+    topo.add_pid("R")
+    topo.add_edge("L", "R", capacity=1000.0)
+    return topo
+
+
+def build_sim(
+    n_peers=10,
+    topo=None,
+    config=None,
+    selector=None,
+    seed_pid=None,
+    **sim_kwargs,
+):
+    topo = topo or abilene()
+    routing = RoutingTable.build(topo)
+    rng = random.Random(42)
+    peers = place_peers(topo, n_peers, rng, first_id=1)
+    seed_pid = seed_pid or topo.aggregation_pids[0]
+    seeds = [PeerInfo(peer_id=0, pid=seed_pid, as_number=topo.node(seed_pid).as_number)]
+    config = config or SwarmConfig(
+        file_mbit=16.0,
+        block_mbit=2.0,
+        neighbors=6,
+        join_window=10.0,
+        access_up_mbps=10.0,
+        access_down_mbps=20.0,
+        seed_up_mbps=50.0,
+        completion_quantum=0.05,
+        rng_seed=7,
+    )
+    return SwarmSimulation(
+        topo, routing, config, selector or RandomSelection(), peers, seeds, **sim_kwargs
+    )
+
+
+class TestConfig:
+    def test_n_blocks(self):
+        assert SwarmConfig(file_mbit=96.0, block_mbit=2.0).n_blocks == 48
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwarmConfig(file_mbit=0.0)
+        with pytest.raises(ValueError):
+            SwarmConfig(block_mbit=200.0, file_mbit=100.0)
+        with pytest.raises(ValueError):
+            SwarmConfig(neighbors=0)
+        with pytest.raises(ValueError):
+            SwarmConfig(upload_slots=0)
+        with pytest.raises(ValueError):
+            SwarmConfig(completion_quantum=-1.0)
+
+
+class TestSwarmCompletion:
+    def test_all_peers_complete(self):
+        sim = build_sim(n_peers=12)
+        result = sim.run(until=5000.0)
+        assert len(result.completion_times) == 12
+        assert all(t > 0 for t in result.completion_times.values())
+
+    def test_deterministic_for_seed(self):
+        result_a = build_sim(n_peers=8).run(until=5000.0)
+        result_b = build_sim(n_peers=8).run(until=5000.0)
+        assert result_a.completion_times == result_b.completion_times
+
+    def test_download_time_bounded_below_by_access(self):
+        """No peer finishes faster than its download link allows."""
+        sim = build_sim(n_peers=8)
+        result = sim.run(until=5000.0)
+        floor = 16.0 / 20.0  # file_mbit / access_down_mbps
+        assert all(t >= floor - 1e-6 for t in result.completion_times.values())
+
+    def test_completion_cdf_monotone(self):
+        result = build_sim(n_peers=10).run(until=5000.0)
+        cdf = result.completion_cdf()
+        times = [t for t, _ in cdf]
+        fractions = [f for _, f in cdf]
+        assert times == sorted(times)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_single_peer_with_seed(self):
+        sim = build_sim(n_peers=1, topo=tiny_topology(), seed_pid="L")
+        result = sim.run(until=5000.0)
+        assert len(result.completion_times) == 1
+
+
+class TestTrafficAccounting:
+    def test_backbone_traffic_recorded(self):
+        result = build_sim(n_peers=10).run(until=5000.0)
+        assert sum(result.link_traffic_mbit.values()) > 0
+
+    def test_same_pid_swarm_has_no_backbone_traffic(self):
+        topo = tiny_topology()
+        routing = RoutingTable.build(topo)
+        peers = [PeerInfo(peer_id=i, pid="L", as_number=0) for i in range(1, 6)]
+        seeds = [PeerInfo(peer_id=0, pid="L", as_number=0)]
+        config = SwarmConfig(
+            file_mbit=8.0, block_mbit=2.0, neighbors=5, join_window=1.0,
+            completion_quantum=0.05, rng_seed=1,
+        )
+        sim = SwarmSimulation(topo, routing, config, RandomSelection(), peers, seeds)
+        result = sim.run(until=1000.0)
+        assert len(result.completion_times) == 5
+        assert sum(result.link_traffic_mbit.values()) == pytest.approx(0.0)
+
+    def test_transfer_listener_sees_all_payload(self):
+        volume = []
+        sim = build_sim(
+            n_peers=6,
+            transfer_listener=lambda u, d, mbit: volume.append(mbit),
+        )
+        result = sim.run(until=5000.0)
+        # Every downloaded block is reported: peers * n_blocks.
+        assert sum(volume) == pytest.approx(6 * 16.0)
+
+    def test_samples_collected(self):
+        config = SwarmConfig(
+            file_mbit=16.0, block_mbit=2.0, neighbors=6, join_window=10.0,
+            access_up_mbps=10.0, access_down_mbps=20.0, seed_up_mbps=50.0,
+            completion_quantum=0.05, sample_interval=0.2, rng_seed=7,
+        )
+        result = build_sim(n_peers=8, config=config).run(until=5000.0)
+        assert result.samples
+        assert all(0 <= s.max_utilization for s in result.samples)
+
+
+class TestChurn:
+    def test_explicit_join_times(self):
+        join_times = {i: float(i) for i in range(1, 7)}
+        sim = build_sim(n_peers=6, join_times=join_times)
+        result = sim.run(until=5000.0)
+        # finish_at - completion_times == join time
+        for peer_id in result.completion_times:
+            join = result.finish_at[peer_id] - result.completion_times[peer_id]
+            assert join == pytest.approx(join_times[peer_id])
+
+    def test_departed_peer_has_no_completion(self):
+        sim = build_sim(n_peers=6)
+        sim.engine.schedule(0.5, lambda: sim.depart(3))
+        result = sim.run(until=5000.0)
+        assert 3 not in result.completion_times
+        assert len(result.completion_times) == 5
+
+    def test_linger_departure_after_completion(self):
+        sim = build_sim(n_peers=6, linger_time=5.0)
+        result = sim.run(until=5000.0)
+        assert len(result.completion_times) == 6
+        # All non-seed peers eventually departed.
+        assert all(
+            peer.departed for peer in sim.peers.values() if not peer.is_seed
+        )
+
+    def test_access_overrides_respected(self):
+        # Give one peer a crippled download link; it must be the slowest.
+        overrides = {1: (10.0, 0.5)}
+        sim = build_sim(n_peers=8, access_overrides=overrides)
+        result = sim.run(until=10000.0)
+        slowest = max(result.completion_times, key=result.completion_times.get)
+        assert slowest == 1
+
+    def test_swarm_size_timeline_tracks_members(self):
+        join_times = {i: 10.0 * i for i in range(1, 5)}
+        config = SwarmConfig(
+            file_mbit=8.0, block_mbit=2.0, neighbors=4, sample_interval=5.0,
+            completion_quantum=0.05, rng_seed=2, access_up_mbps=10.0,
+            access_down_mbps=20.0, seed_up_mbps=50.0,
+        )
+        sim = build_sim(n_peers=4, config=config, join_times=join_times)
+        result = sim.run(until=200.0)
+        sizes = {s.time: s.swarm_size for s in result.samples}
+        assert max(sizes.values()) <= 4
+        assert max(sizes.values()) >= 1
+
+
+class TestTrackerHook:
+    def test_hook_called_periodically(self):
+        calls = []
+        config = SwarmConfig(
+            file_mbit=16.0, block_mbit=2.0, neighbors=6, join_window=10.0,
+            access_up_mbps=5.0, access_down_mbps=10.0, seed_up_mbps=20.0,
+            tracker_update_interval=2.0, completion_quantum=0.05, rng_seed=7,
+        )
+        sim = build_sim(
+            n_peers=8,
+            config=config,
+            tracker_hook=lambda now, traffic, rates: calls.append(now),
+        )
+        sim.run(until=5000.0)
+        assert len(calls) >= 2
+        assert calls == sorted(calls)
+
+    def test_hook_rates_nonnegative(self):
+        rates_seen = []
+        sim = build_sim(
+            n_peers=8,
+            tracker_hook=lambda now, traffic, rates: rates_seen.append(rates),
+        )
+        sim.run(until=5000.0)
+        for rates in rates_seen:
+            assert all(rate >= 0 for rate in rates.values())
+
+
+class TestValidation:
+    def test_needs_peers(self):
+        topo = tiny_topology()
+        routing = RoutingTable.build(topo)
+        seeds = [PeerInfo(peer_id=0, pid="L", as_number=0)]
+        with pytest.raises(ValueError):
+            SwarmSimulation(topo, routing, SwarmConfig(), RandomSelection(), [], seeds)
+
+    def test_needs_seed(self):
+        topo = tiny_topology()
+        routing = RoutingTable.build(topo)
+        peers = [PeerInfo(peer_id=1, pid="L", as_number=0)]
+        with pytest.raises(ValueError):
+            SwarmSimulation(topo, routing, SwarmConfig(), RandomSelection(), peers, [])
+
+    def test_unknown_pid_rejected(self):
+        topo = tiny_topology()
+        routing = RoutingTable.build(topo)
+        peers = [PeerInfo(peer_id=1, pid="NOPE", as_number=0)]
+        seeds = [PeerInfo(peer_id=0, pid="L", as_number=0)]
+        with pytest.raises(KeyError):
+            SwarmSimulation(topo, routing, SwarmConfig(), RandomSelection(), peers, seeds)
+
+    def test_duplicate_peer_id_rejected(self):
+        topo = tiny_topology()
+        routing = RoutingTable.build(topo)
+        peers = [
+            PeerInfo(peer_id=1, pid="L", as_number=0),
+            PeerInfo(peer_id=1, pid="R", as_number=0),
+        ]
+        seeds = [PeerInfo(peer_id=0, pid="L", as_number=0)]
+        with pytest.raises(ValueError):
+            SwarmSimulation(topo, routing, SwarmConfig(), RandomSelection(), peers, seeds)

@@ -1,0 +1,116 @@
+"""Tests for background-traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+from repro.network.traffic import (
+    INTERVAL_SECONDS,
+    INTERVALS_PER_DAY,
+    DiurnalProfile,
+    TrafficMatrix,
+    apply_background,
+    generate_volume_series,
+    scale_background_to_utilization,
+)
+
+
+class TestDiurnalProfile:
+    def test_peak_at_peak_hour(self):
+        profile = DiurnalProfile(mean_mbps=100.0, peak_to_trough=3.0, peak_hour=20.0)
+        rates = [profile.rate_at(i) for i in range(INTERVALS_PER_DAY)]
+        peak_interval = int(20.0 / 24.0 * INTERVALS_PER_DAY)
+        assert rates.index(max(rates)) == peak_interval
+
+    def test_peak_to_trough_ratio(self):
+        profile = DiurnalProfile(mean_mbps=100.0, peak_to_trough=4.0)
+        rates = [profile.rate_at(i) for i in range(INTERVALS_PER_DAY)]
+        assert max(rates) / min(rates) == pytest.approx(4.0, rel=1e-3)
+
+    def test_daily_mean(self):
+        profile = DiurnalProfile(mean_mbps=250.0, peak_to_trough=2.0)
+        rates = [profile.rate_at(i) for i in range(INTERVALS_PER_DAY)]
+        assert np.mean(rates) == pytest.approx(250.0, rel=1e-3)
+
+    def test_weekend_scaling(self):
+        profile = DiurnalProfile(weekend_factor=0.5)
+        weekday = profile.rate_at(0)
+        weekend = profile.rate_at(5 * INTERVALS_PER_DAY)
+        assert weekend == pytest.approx(0.5 * weekday)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(mean_mbps=-1.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile(peak_to_trough=0.5)
+
+
+class TestVolumeSeries:
+    def test_length(self):
+        series = generate_volume_series(DiurnalProfile(), 100)
+        assert series.shape == (100,)
+
+    def test_deterministic_for_seed(self):
+        profile = DiurnalProfile()
+        a = generate_volume_series(profile, 50, seed=3)
+        b = generate_volume_series(profile, 50, seed=3)
+        assert np.allclose(a, b)
+
+    def test_noise_free_matches_rate(self):
+        profile = DiurnalProfile(mean_mbps=100.0, noise_sigma=0.0)
+        series = generate_volume_series(profile, 10)
+        expected = np.array([profile.rate_at(i) * INTERVAL_SECONDS for i in range(10)])
+        assert np.allclose(series, expected)
+
+    def test_positive(self):
+        series = generate_volume_series(DiurnalProfile(), 2000, seed=1)
+        assert np.all(series > 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            generate_volume_series(DiurnalProfile(), 0)
+
+
+class TestTrafficMatrix:
+    def test_gravity_total(self):
+        topo = abilene()
+        matrix = TrafficMatrix.gravity(topo, total_mbps=1000.0, seed=0)
+        assert matrix.total() == pytest.approx(1000.0)
+
+    def test_gravity_covers_all_pairs(self):
+        topo = abilene()
+        matrix = TrafficMatrix.gravity(topo, total_mbps=10.0)
+        n = len(topo.aggregation_pids)
+        assert len(matrix.demands) == n * (n - 1)
+
+    def test_gravity_with_explicit_weights(self):
+        topo = abilene()
+        weights = {pid: 1.0 for pid in topo.aggregation_pids}
+        matrix = TrafficMatrix.gravity(topo, total_mbps=110.0, weights=weights)
+        values = list(matrix.demands.values())
+        assert max(values) == pytest.approx(min(values))
+
+    def test_apply_background_loads_links(self):
+        topo = abilene()
+        table = RoutingTable.build(topo)
+        matrix = TrafficMatrix.gravity(topo, total_mbps=1000.0, seed=0)
+        apply_background(topo, matrix, table)
+        total_bg = sum(link.background for link in topo.links.values())
+        assert total_bg >= matrix.total()  # multi-hop routes count repeatedly
+
+    def test_scale_background(self):
+        topo = abilene()
+        table = RoutingTable.build(topo)
+        apply_background(topo, TrafficMatrix.gravity(topo, 1000.0, seed=0), table)
+        scale_background_to_utilization(topo, 0.5)
+        max_util = max(link.background / link.capacity for link in topo.links.values())
+        assert max_util == pytest.approx(0.5)
+
+    def test_scale_requires_existing_background(self):
+        with pytest.raises(ValueError):
+            scale_background_to_utilization(abilene(), 0.5)
+
+    def test_scale_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            scale_background_to_utilization(abilene(), 1.5)
