@@ -169,20 +169,37 @@ class P4PSelection(PeerSelector):
     upper_intra: float = 0.7
     upper_inter: float = 0.8
     gamma: float = 0.5
+    portal_health: Optional[Mapping[int, str]] = None
     name: str = "p4p"
+    native_fallbacks: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.upper_intra <= self.upper_inter <= 1:
             raise ValueError("need 0 <= upper_intra <= upper_inter <= 1")
 
     def _view(self, as_number: int) -> Optional[PDistanceMap]:
+        """The AS's guidance view, or None when selection must go native.
+
+        ``portal_health`` (the shape of ``Integrator.status_map()``) marks
+        an AS ``"unavailable"`` when its portal is down *and* the stale
+        fallback has expired; those sessions transparently use native
+        selection even if an outdated view object is still present.
+        """
+        if (
+            self.portal_health is not None
+            and self.portal_health.get(as_number) == "unavailable"
+        ):
+            return None
         return self.pdistances.get(as_number)
 
     def select(self, client, candidates, m, rng):
         view = self._view(client.as_number)
         if view is None:
-            # Unknown AS: fall back to random (iTrackers are not on the
-            # critical path -- Sec. 8 robustness answer).
+            # Unknown or portal-unavailable AS: fall back to random
+            # (iTrackers are not on the critical path -- Sec. 8 robustness
+            # answer).  Counted so the management plane can see the swarm
+            # share running without guidance.
+            self.native_fallbacks += 1
             return RandomSelection().select(client, candidates, m, rng)
 
         chosen: List[PeerInfo] = []

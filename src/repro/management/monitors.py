@@ -13,6 +13,11 @@ cover the failure modes the paper's discussion raises:
 * :class:`LoadAudit` -- compares the loads the iTracker believes it
   observed against an independent measurement feed, bounding how far the
   control plane's view of the network has drifted.
+* :class:`ResilienceCounters` -- degradation telemetry from the portal
+  resilience layer (:mod:`repro.portal.resilience`): retries, circuit
+  breaker trips and probes, stale-view serves, validation rejections, and
+  native-selection fallbacks, so operators can see *how* the system is
+  degrading while iTrackers stay off the critical path.
 """
 
 from __future__ import annotations
@@ -108,6 +113,42 @@ class UpdateLivenessMonitor:
         if self._last_change_time is None:
             return False
         return now - self._last_change_time > self.expected_period * self.grace_factor
+
+
+@dataclass
+class ResilienceCounters:
+    """Counters the portal resilience layer increments as it degrades.
+
+    One instance is typically shared by a
+    :class:`~repro.portal.resilience.ResilientPortalClient` (which drives
+    ``retries`` .. ``reconnects``) and the selection layer (which drives
+    ``native_fallbacks``); :meth:`snapshot` is the management-plane export.
+    """
+
+    retries: int = 0
+    breaker_trips: int = 0
+    breaker_probes: int = 0
+    stale_serves: int = 0
+    validation_rejections: int = 0
+    unavailable: int = 0
+    reconnects: int = 0
+    native_fallbacks: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "breaker_trips": self.breaker_trips,
+            "breaker_probes": self.breaker_probes,
+            "stale_serves": self.stale_serves,
+            "validation_rejections": self.validation_rejections,
+            "unavailable": self.unavailable,
+            "reconnects": self.reconnects,
+            "native_fallbacks": self.native_fallbacks,
+        }
+
+    def reset(self) -> None:
+        for key in self.snapshot():
+            setattr(self, key, 0)
 
 
 @dataclass(frozen=True)

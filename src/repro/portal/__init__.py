@@ -1,1 +1,2 @@
-"""The P4P portal wire layer: protocol, server, client, discovery."""
+"""The P4P portal wire layer: protocol, server, client, discovery,
+resilience (retry/breaker/stale-view fallback), and fault injection."""

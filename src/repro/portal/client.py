@@ -16,6 +16,7 @@ applications" -- exposing the per-AS view mapping that
 
 from __future__ import annotations
 
+import enum
 import socket
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -27,6 +28,19 @@ from repro.portal import protocol
 
 class PortalClientError(Exception):
     """Server returned an error or the connection failed."""
+
+
+class PortalTransportError(PortalClientError):
+    """The connection itself failed (refused, reset, framing error).
+
+    Distinct from a well-formed error *response*: transport failures are
+    transient by nature and are what retry policies and circuit breakers
+    (:mod:`repro.portal.resilience`) act on.
+    """
+
+
+class DiscoveryError(PortalClientError):
+    """No iTracker is registered for the requested domain."""
 
 
 class PortalClient:
@@ -55,9 +69,9 @@ class PortalClient:
             self._sock.sendall(protocol.encode_frame(protocol.request(method, **params)))
             response = protocol.read_frame(self._sock)
         except (OSError, protocol.ProtocolError) as exc:
-            raise PortalClientError(f"transport failure: {exc}") from exc
+            raise PortalTransportError(f"transport failure: {exc}") from exc
         if response is None:
-            raise PortalClientError("server closed the connection")
+            raise PortalTransportError("server closed the connection")
         if "error" in response:
             raise PortalClientError(response["error"])
         return response.get("result")
@@ -68,7 +82,16 @@ class PortalClient:
         return int(self._call("get_version")["version"])
 
     def get_pdistances(self, pids: Optional[List[str]] = None) -> PDistanceMap:
-        """Fetch the external view; full views are cached by version."""
+        """Fetch the external view; full views are cached by version.
+
+        Partial views (``pids`` given) **bypass the version cache entirely**:
+        every call issues a fresh RPC and neither reads nor updates the
+        cached full view.  Callers that need offline fallback (e.g. the
+        stale-view logic of
+        :class:`~repro.portal.resilience.ResilientPortalClient`) must
+        therefore fetch the *full* view and restrict it locally with
+        :meth:`~repro.core.pdistance.PDistanceMap.restricted_to`.
+        """
         if pids is None:
             version = self.get_version()
             if self._cached_view is not None and version == self._cached_version:
@@ -98,25 +121,85 @@ class PortalClient:
         return self._call("get_alto_networkmap")
 
 
+class PortalStatus(str, enum.Enum):
+    """Health of one AS's portal as seen by the :class:`Integrator`."""
+
+    OK = "ok"
+    STALE = "stale"
+    UNAVAILABLE = "unavailable"
+
+
+@dataclass
+class PortalHealth:
+    """Per-AS degradation record exposed to the selection layer."""
+
+    status: PortalStatus = PortalStatus.OK
+    consecutive_failures: int = 0
+    breaker_state: Optional[str] = None
+    stale_age: Optional[float] = None
+    last_error: Optional[str] = None
+
+
 @dataclass
 class Integrator:
-    """Aggregates several portals into the per-AS view map P4P selection uses."""
+    """Aggregates several portals into the per-AS view map P4P selection uses.
+
+    Portal failures do not raise (iTrackers are not on the critical path);
+    instead each AS's degradation state is recorded in :attr:`health` so
+    :class:`~repro.apptracker.selection.P4PSelection` can fall back to
+    native selection for the affected AS.  Clients exposing the
+    :class:`~repro.portal.resilience.ResilientPortalClient` interface
+    (``get_view``) additionally report stale-view serves and breaker state.
+    """
 
     portals: Dict[int, PortalClient] = field(default_factory=dict)
+    health: Dict[int, PortalHealth] = field(default_factory=dict)
 
     def add(self, as_number: int, client: PortalClient) -> None:
         self.portals[as_number] = client
+        self.health[as_number] = PortalHealth()
 
     def views(self) -> Dict[int, PDistanceMap]:
-        """One external view per AS; portals that fail are skipped (iTrackers
-        are not on the critical path)."""
+        """One external view per AS, freshest available (possibly stale).
+
+        ASes whose portal is unavailable *and* past any stale fallback are
+        omitted; their :attr:`health` entry flips to ``UNAVAILABLE`` so the
+        selection layer degrades those sessions to native selection rather
+        than silently losing the AS forever.
+        """
         collected: Dict[int, PDistanceMap] = {}
         for as_number, client in self.portals.items():
+            record = self.health.setdefault(as_number, PortalHealth())
+            get_view = getattr(client, "get_view", None)
             try:
-                collected[as_number] = client.get_pdistances()
-            except PortalClientError:
-                continue
+                if get_view is not None:
+                    snapshot = get_view()
+                    collected[as_number] = snapshot.view
+                    record.status = (
+                        PortalStatus.STALE if snapshot.stale else PortalStatus.OK
+                    )
+                    record.stale_age = snapshot.age if snapshot.stale else None
+                    if not snapshot.stale:
+                        record.consecutive_failures = 0
+                else:
+                    collected[as_number] = client.get_pdistances()
+                    record.status = PortalStatus.OK
+                    record.stale_age = None
+                    record.consecutive_failures = 0
+            except PortalClientError as exc:
+                record.status = PortalStatus.UNAVAILABLE
+                record.consecutive_failures += 1
+                record.last_error = str(exc)
+            record.breaker_state = getattr(client, "breaker_state", None)
         return collected
+
+    def status_map(self) -> Dict[int, str]:
+        """Plain ``{as_number: "ok" | "stale" | "unavailable"}`` view of
+        :attr:`health`, the shape ``P4PSelection.portal_health`` consumes."""
+        return {
+            as_number: record.status.value
+            for as_number, record in self.health.items()
+        }
 
     def close(self) -> None:
         for client in self.portals.values():
@@ -133,8 +216,17 @@ def register_itracker(domain: str, host: str, port: int) -> None:
 
 
 def discover_itracker(domain: str) -> Tuple[str, int]:
-    """Resolve a domain's iTracker address; raises ``KeyError`` if absent."""
-    return _SRV_REGISTRY[domain]
+    """Resolve a domain's iTracker address.
+
+    Raises :class:`DiscoveryError` when no portal is registered for the
+    domain (the SRV lookup equivalent of NXDOMAIN).
+    """
+    try:
+        return _SRV_REGISTRY[domain]
+    except KeyError:
+        raise DiscoveryError(
+            f"no iTracker registered for domain {domain!r}"
+        ) from None
 
 
 def clear_registry() -> None:

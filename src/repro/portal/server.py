@@ -91,8 +91,13 @@ class PortalServer:
             if handler is None:
                 raise PortalRequestError(f"unknown method {method!r}")
             return protocol.ok(handler(params))
-        except (PortalRequestError, AccessDeniedError, KeyError, ValueError) as exc:
+        except (PortalRequestError, AccessDeniedError, ValueError) as exc:
             return protocol.error(str(exc))
+        except KeyError as exc:
+            # str(KeyError('SEAT')) is the bare repr "'SEAT'" -- useless to a
+            # remote client; name the failure so the message is actionable.
+            key = exc.args[0] if exc.args else exc
+            return protocol.error(f"unknown key: {key!r}")
 
     def _do_get_pdistances(self, params: Dict[str, Any]) -> Dict[str, Any]:
         pids = params.get("pids")
@@ -132,6 +137,10 @@ class PortalServer:
             pid, as_number = self.itracker.lookup_pid(ip)
         except RuntimeError as exc:
             raise PortalRequestError(str(exc)) from exc
+        except KeyError as exc:
+            # PidMap.lookup raises KeyError with a human-readable message.
+            detail = exc.args[0] if exc.args else f"no PID mapping for {ip}"
+            raise PortalRequestError(str(detail)) from exc
         return {"pid": pid, "as": as_number}
 
     def _do_get_version(self, params: Dict[str, Any]):

@@ -1,0 +1,54 @@
+"""Suite-wide fixtures and the per-test timeout fallback.
+
+Socket-level fault-injection tests can hang forever on a blocking read if
+a bug slips into the framing code; ``@pytest.mark.timeout(seconds)``
+bounds them.  When the ``pytest-timeout`` plugin is installed it owns the
+marker; otherwise this conftest enforces it with a SIGALRM timer (main
+thread, POSIX -- a no-op on platforms without SIGALRM).  The default for
+bare ``@pytest.mark.timeout`` markers comes from ``fault_test_timeout``
+in ``pyproject.toml``.
+"""
+
+import signal
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addini(
+        "fault_test_timeout",
+        "default seconds for @pytest.mark.timeout tests without an argument",
+        default="30",
+    )
+
+
+def _marker_seconds(item):
+    marker = item.get_closest_marker("timeout")
+    if marker is None:
+        return None
+    if marker.args:
+        return float(marker.args[0])
+    return float(item.config.getini("fault_test_timeout"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = _marker_seconds(item)
+    if (
+        seconds is None
+        or item.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+    ):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded {seconds:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,6 +1,7 @@
 """Tests for the portal wire protocol, server, client, and integrator."""
 
 import socket
+import struct
 import threading
 
 import pytest
@@ -12,6 +13,7 @@ from repro.core.policy import NetworkPolicy, TimeOfDayPolicy
 from repro.network.library import abilene
 from repro.portal import protocol
 from repro.portal.client import (
+    DiscoveryError,
     Integrator,
     PortalClient,
     PortalClientError,
@@ -92,6 +94,92 @@ class TestProtocol:
             protocol.pdistance_from_wire({"pids": ["A"]})
 
 
+@pytest.mark.timeout(10)
+class TestProtocolFramingEdgeCases:
+    """Malformed frames raise ProtocolError promptly -- never hang a read."""
+
+    def _pair(self):
+        return socket.socketpair()
+
+    def test_truncated_length_prefix(self):
+        a, b = self._pair()
+        try:
+            a.sendall(b"\x00\x00")  # 2 of the 4 header bytes
+            a.close()
+            with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+                protocol.read_frame(b)
+        finally:
+            b.close()
+
+    def test_body_shorter_than_advertised(self):
+        a, b = self._pair()
+        try:
+            body = b'{"method": "ping"}'
+            a.sendall(struct.pack(">I", len(body) + 16) + body)
+            a.close()
+            with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+                protocol.read_frame(b)
+        finally:
+            b.close()
+
+    def test_body_longer_than_advertised_breaks_parse(self):
+        # The advertised length wins: the reader takes a prefix of the real
+        # body, which no longer parses -- an error, not silent corruption.
+        a, b = self._pair()
+        try:
+            body = b'{"method": "ping", "params": {}}'
+            a.sendall(struct.pack(">I", len(body) - 5) + body)
+            with pytest.raises(protocol.ProtocolError, match="bad JSON"):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_header_rejected_before_reading_body(self):
+        a, b = self._pair()
+        try:
+            # No body is ever sent; the header alone must be enough to fail.
+            a.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(protocol.ProtocolError, match="exceeds limit"):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_invalid_utf8_body(self):
+        a, b = self._pair()
+        try:
+            body = b"\xff\xfe\xfd\xfc"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(protocol.ProtocolError, match="bad JSON"):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_invalid_json_body(self):
+        a, b = self._pair()
+        try:
+            body = b"this is not json"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(protocol.ProtocolError, match="bad JSON"):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_json_body(self):
+        a, b = self._pair()
+        try:
+            body = b"[1, 2, 3]"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(protocol.ProtocolError, match="JSON object"):
+                protocol.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
 class TestPortalEndToEnd:
     def test_get_pdistances(self, portal, itracker):
         host, port = portal.address
@@ -114,6 +202,21 @@ class TestPortalEndToEnd:
             first = client.get_pdistances()
             second = client.get_pdistances()
             assert first is second  # same cached object
+
+    def test_partial_views_bypass_version_cache(self, portal):
+        """Pins the documented behaviour: ``pids=[...]`` fetches are never
+        cached and never disturb the cached full view -- the stale-fallback
+        logic in the resilient wrapper depends on this."""
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            full = client.get_pdistances()
+            partial_1 = client.get_pdistances(pids=["SEAT", "NYCM"])
+            partial_2 = client.get_pdistances(pids=["SEAT", "NYCM"])
+            # Fresh RPC each time: distinct objects, equal content.
+            assert partial_1 is not partial_2
+            assert partial_1.distances == partial_2.distances
+            # The full-view cache is untouched by partial fetches.
+            assert client.get_pdistances() is full
 
     def test_get_policy(self, portal):
         host, port = portal.address
@@ -145,6 +248,22 @@ class TestPortalEndToEnd:
         with PortalClient(host, port) as client:
             with pytest.raises(PortalClientError):
                 client._call("lookup_pid")
+
+    def test_unmapped_ip_error_is_actionable(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            with pytest.raises(PortalClientError, match="no PID mapping for"):
+                client.lookup_pid("192.168.1.1")
+
+    def test_stray_keyerror_is_named(self, portal):
+        """A handler leaking a bare KeyError must not surface as "'SEAT'"."""
+
+        def exploding(params):
+            raise KeyError("SEAT")
+
+        portal._do_get_policy = exploding
+        response = portal.dispatch({"method": "get_policy", "params": {}})
+        assert response["error"] == "unknown key: 'SEAT'"
 
     def test_multiple_clients_concurrently(self, portal):
         host, port = portal.address
@@ -193,7 +312,7 @@ class TestDiscovery:
         register_itracker("isp-b.example", "127.0.0.1", 4444)
         assert discover_itracker("isp-b.example") == ("127.0.0.1", 4444)
 
-    def test_unknown_domain_raises(self):
+    def test_unknown_domain_raises_discovery_error(self):
         clear_registry()
-        with pytest.raises(KeyError):
+        with pytest.raises(DiscoveryError, match="nowhere.example"):
             discover_itracker("nowhere.example")
