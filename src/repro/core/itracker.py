@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -95,6 +95,11 @@ class ITracker:
     capabilities: CapabilityRegistry = field(default_factory=CapabilityRegistry)
     pid_map: Optional[PidMap] = None
     explicit_prices: Optional[Dict[LinkKey, float]] = None
+    #: Optional :class:`repro.observability.Telemetry`; when present every
+    #: dynamic price update records a span (super-gradient norm, MLU) and
+    #: refreshes the ``p4p_core_*`` gauges.  A :class:`~repro.portal.server.
+    #: PortalServer` fronting this iTracker shares its bundle automatically.
+    telemetry: Optional[Any] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.routing = RoutingTable.build(self.topology)
@@ -194,11 +199,21 @@ class ITracker:
             if now - self._last_update_time < self.config.update_period and self._version > 0:
                 return False
             self._last_update_time = now
+        telemetry = self.telemetry
+        span = (
+            telemetry.traces.start(
+                "itracker.price_update", topology=self.topology.name
+            )
+            if telemetry is not None
+            else None
+        )
         xi = self.objective.supergradient(self.topology, self._link_order, loads)
         self._prices = project_weighted_simplex(
             self._prices + self.config.step_size * xi, self._capacities
         )
         self._version += 1
+        if telemetry is not None:
+            self._record_price_update(telemetry, span, xi, loads)
         logger.debug(
             "price update v%d for %s (%d links loaded)",
             self._version,
@@ -206,6 +221,39 @@ class ITracker:
             sum(1 for value in loads.values() if value > 0),
         )
         return True
+
+    def _record_price_update(self, telemetry, span, xi, loads) -> None:
+        """Set the ``p4p_core_*`` gauges and finish the update span."""
+        norm = float(np.linalg.norm(xi))
+        max_utilization = 0.0
+        for key, capacity in zip(self._link_order, self._capacities):
+            if capacity > 0:
+                max_utilization = max(
+                    max_utilization, float(loads.get(key, 0.0)) / float(capacity)
+                )
+        registry = telemetry.registry
+        registry.counter(
+            "p4p_core_price_updates_total", "Dynamic price updates applied."
+        ).inc()
+        registry.gauge(
+            "p4p_core_price_version", "Current price-state version counter."
+        ).set(self._version)
+        registry.gauge(
+            "p4p_core_supergradient_norm",
+            "L2 norm of the last super-gradient step.",
+        ).set(norm)
+        registry.gauge(
+            "p4p_core_max_link_utilization",
+            "Max load/capacity over links at the last update.",
+        ).set(max_utilization)
+        if span is not None:
+            span.set(
+                version=self._version,
+                supergradient_norm=norm,
+                max_link_utilization=max_utilization,
+                links_loaded=sum(1 for value in loads.values() if value > 0),
+            )
+            telemetry.traces.finish(span)
 
     def refresh_topology(self) -> None:
         """Re-derive routing and price state after a topology change.

@@ -123,6 +123,12 @@ class ResilienceCounters:
     :class:`~repro.portal.resilience.ResilientPortalClient` (which drives
     ``retries`` .. ``reconnects``) and the selection layer (which drives
     ``native_fallbacks``); :meth:`snapshot` is the management-plane export.
+
+    :class:`repro.observability.RegistryResilienceCounters` is a drop-in
+    replacement backed by registry gauges: same attribute protocol, but
+    the values also surface through the telemetry exporters and the
+    portal's ``get_metrics`` interface.  Prefer it wherever a
+    :class:`~repro.observability.MetricsRegistry` is already in play.
     """
 
     retries: int = 0

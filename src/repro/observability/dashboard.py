@@ -1,0 +1,183 @@
+"""Render scraped telemetry snapshots as a terminal dashboard.
+
+Consumes the JSON document served by the portal's ``get_metrics`` method
+(metrics + spans, see :meth:`repro.observability.telemetry.Telemetry.
+snapshot`) and renders the operator view the ``repro telemetry`` CLI
+subcommand prints: per-method request rates, latency percentiles from the
+histogram buckets, the price-update convergence trace (plotted with
+:func:`repro.metrics.ascii_plot.ascii_plot`), and resilience counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def percentile_from_buckets(
+    buckets: Sequence[Sequence[Any]], q: float
+) -> float:
+    """``histogram_quantile`` over wire-form cumulative ``[le, count]`` pairs."""
+    if not 0 <= q <= 1:
+        raise ValueError("q must be in [0, 1]")
+    pairs: List[Tuple[float, float]] = [
+        (float("inf") if bound == "+Inf" else float(bound), float(count))
+        for bound, count in buckets
+    ]
+    total = pairs[-1][1] if pairs else 0.0
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    if rank <= 0:
+        return 0.0
+    previous_bound = 0.0
+    previous_count = 0.0
+    for bound, cumulative in pairs:
+        if cumulative >= rank:
+            if bound == float("inf"):
+                return previous_bound
+            if cumulative == previous_count:
+                return bound
+            fraction = (rank - previous_count) / (cumulative - previous_count)
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound = bound
+        previous_count = cumulative
+    return previous_bound
+
+
+def _metric(snapshot: Mapping[str, Any], name: str) -> Optional[Dict[str, Any]]:
+    for metric in snapshot.get("metrics", []):
+        if metric["name"] == name:
+            return metric
+    return None
+
+
+def _samples_by_label(
+    metric: Optional[Mapping[str, Any]], label: str
+) -> Dict[str, Dict[str, Any]]:
+    if metric is None:
+        return {}
+    return {
+        sample["labels"].get(label, ""): sample
+        for sample in metric.get("samples", [])
+    }
+
+
+def render_request_table(snapshot: Mapping[str, Any]) -> List[str]:
+    """Per-method requests, QPS (over scrape uptime), and latency tails."""
+    requests = _samples_by_label(
+        _metric(snapshot, "p4p_portal_requests_total"), "method"
+    )
+    latency = _samples_by_label(
+        _metric(snapshot, "p4p_portal_request_latency_seconds"), "method"
+    )
+    if not requests:
+        return ["  (no requests served yet)"]
+    uptime = float(snapshot.get("uptime_seconds") or 0.0)
+    lines = [
+        f"  {'method':<22} {'requests':>9} {'qps':>8} "
+        f"{'p50 ms':>8} {'p90 ms':>8} {'p99 ms':>8}"
+    ]
+    for method in sorted(requests):
+        count = float(requests[method]["value"])
+        qps = count / uptime if uptime > 0 else 0.0
+        sample = latency.get(method)
+        if sample:
+            p50, p90, p99 = (
+                percentile_from_buckets(sample["buckets"], q) * 1000.0
+                for q in (0.5, 0.9, 0.99)
+            )
+        else:
+            p50 = p90 = p99 = 0.0
+        lines.append(
+            f"  {method:<22} {count:>9.0f} {qps:>8.2f} "
+            f"{p50:>8.3f} {p90:>8.3f} {p99:>8.3f}"
+        )
+    return lines
+
+
+def render_convergence_trace(
+    snapshot: Mapping[str, Any], width: int = 60, height: int = 10
+) -> List[str]:
+    """Super-gradient norm per price-update span -- the convergence trace."""
+    from repro.metrics.ascii_plot import ascii_plot
+
+    points = [
+        (span["start"], float(span["attributes"]["supergradient_norm"]))
+        for span in snapshot.get("spans", [])
+        if span.get("name") == "itracker.price_update"
+        and "supergradient_norm" in span.get("attributes", {})
+    ]
+    if len(points) < 2:
+        version = _metric(snapshot, "p4p_core_price_version")
+        if version is not None and version.get("samples"):
+            current = version["samples"][0]["value"]
+            return [f"  (fewer than 2 price updates traced; version={current:.0f})"]
+        return ["  (no price updates traced)"]
+    plot = ascii_plot(
+        {"|xi|": points},
+        width=width,
+        height=height,
+        x_label="time",
+        y_label="supergradient norm",
+    )
+    return ["  " + line for line in plot.splitlines()]
+
+
+def render_resilience_counters(snapshot: Mapping[str, Any]) -> List[str]:
+    """Every ``p4p_resilience_*`` series currently in the registry."""
+    lines: List[str] = []
+    for metric in snapshot.get("metrics", []):
+        name = metric["name"]
+        if not name.startswith("p4p_resilience_"):
+            continue
+        short = name[len("p4p_resilience_") :]
+        for sample in metric.get("samples", []):
+            labels = sample.get("labels", {})
+            suffix = (
+                " (" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + ")"
+                if labels
+                else ""
+            )
+            lines.append(f"  {short:<24} {sample['value']:>10.0f}{suffix}")
+    return lines or ["  (no resilience counters registered)"]
+
+
+def render_gauges(snapshot: Mapping[str, Any], prefix: str) -> List[str]:
+    """All gauge series under a name prefix, one line each."""
+    lines: List[str] = []
+    for metric in snapshot.get("metrics", []):
+        if metric["type"] != "gauge" or not metric["name"].startswith(prefix):
+            continue
+        for sample in metric.get("samples", []):
+            labels = sample.get("labels", {})
+            suffix = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            lines.append(f"  {metric['name']}{suffix} = {sample['value']:.6g}")
+    return lines
+
+
+def render_dashboard(
+    snapshot: Mapping[str, Any], title: str = "portal"
+) -> str:
+    """The full text dashboard for one scraped portal."""
+    lines: List[str] = []
+    uptime = float(snapshot.get("uptime_seconds") or 0.0)
+    lines.append(f"== telemetry: {title} (uptime {uptime:.1f}s) ==")
+    lines.append("-- requests --")
+    lines.extend(render_request_table(snapshot))
+    lines.append("-- price-update convergence --")
+    lines.extend(render_convergence_trace(snapshot))
+    core = render_gauges(snapshot, "p4p_core_")
+    if core:
+        lines.append("-- core gauges --")
+        lines.extend(core)
+    sim = render_gauges(snapshot, "p4p_sim_")
+    if sim:
+        lines.append("-- simulator gauges --")
+        lines.extend(sim)
+    lines.append("-- resilience --")
+    lines.extend(render_resilience_counters(snapshot))
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""The Telemetry bundle and the registry-backed resilience-counter facade.
+
+:class:`Telemetry` is what instrumented components pass around: one
+:class:`~repro.observability.registry.MetricsRegistry` plus one
+:class:`~repro.observability.tracing.TraceBuffer` sharing a clock.  A
+single bundle typically spans a whole process (iTracker + portal server),
+so one ``get_metrics`` scrape sees every layer.
+
+:class:`RegistryResilienceCounters` keeps the attribute protocol of
+:class:`repro.management.monitors.ResilienceCounters` (``counters.retries
++= 1``, ``counters.breaker_trips = n``, ``snapshot()``, ``reset()``) while
+storing each counter in a registry gauge ``p4p_resilience_<name>`` --
+existing resilience code keeps working unchanged and the values surface
+through the exporters and ``get_metrics`` like every other instrument.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.observability.export import json_snapshot, prometheus_text
+from repro.observability.registry import (
+    Clock,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.observability.tracing import NullTraceBuffer, TraceBuffer
+
+
+class Telemetry:
+    """One component's registry + trace buffer on a shared clock."""
+
+    def __init__(
+        self,
+        clock: Clock = time.monotonic,
+        trace_capacity: int = 2048,
+    ) -> None:
+        self.registry = MetricsRegistry(clock=clock)
+        self.traces = TraceBuffer(capacity=trace_capacity, clock=clock)
+
+    @property
+    def clock(self) -> Clock:
+        return self.registry.clock
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``get_metrics`` JSON document: metrics plus recent spans."""
+        document = json_snapshot(self.registry)
+        document["spans"] = self.traces.to_wire()
+        return document
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.registry)
+
+
+class NullTelemetry:
+    """A disabled :class:`Telemetry`: every instrument is a no-op."""
+
+    registry: NullRegistry = NULL_REGISTRY
+    traces = NullTraceBuffer()
+    clock = staticmethod(time.monotonic)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"uptime_seconds": 0.0, "metrics": [], "spans": []}
+
+    def prometheus(self) -> str:
+        return ""
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+class RegistryResilienceCounters:
+    """Drop-in ``ResilienceCounters`` whose storage is registry gauges.
+
+    Gauges (not counters) because the resilience layer *assigns* some
+    fields (``counters.breaker_trips = breaker.trip_count``) as well as
+    incrementing others; a monotonic instrument cannot express the
+    assignment.  ``as_number`` adds an ``as`` label so several resilient
+    clients can share one registry without colliding.
+    """
+
+    FIELDS = (
+        "retries",
+        "breaker_trips",
+        "breaker_probes",
+        "stale_serves",
+        "validation_rejections",
+        "unavailable",
+        "reconnects",
+        "native_fallbacks",
+    )
+
+    _HELP = {
+        "retries": "Transport-failure retries issued by resilient clients.",
+        "breaker_trips": "Circuit breaker CLOSED->OPEN transitions.",
+        "breaker_probes": "HALF_OPEN probe attempts.",
+        "stale_serves": "Views served stale while the portal was unreachable.",
+        "validation_rejections": "Fetched views rejected by validate_view.",
+        "unavailable": "Fetches that found no fresh or usable stale view.",
+        "reconnects": "New portal connections established.",
+        "native_fallbacks": "Selections degraded to native for lack of guidance.",
+    }
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        as_number: Optional[int] = None,
+    ) -> None:
+        labelnames = ("as_number",) if as_number is not None else ()
+        gauges = {}
+        for name in self.FIELDS:
+            gauge = registry.gauge(
+                f"p4p_resilience_{name}", self._HELP[name], labelnames
+            )
+            if as_number is not None:
+                gauges[name] = gauge.labels(as_number=as_number)
+            else:
+                gauges[name] = gauge.labels()
+        object.__setattr__(self, "_gauges", gauges)
+
+    def __getattr__(self, name: str) -> Any:
+        gauges = object.__getattribute__(self, "_gauges")
+        if name in gauges:
+            value = gauges[name].value
+            return int(value) if float(value).is_integer() else value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        gauges = object.__getattribute__(self, "_gauges")
+        if name in gauges:
+            gauges[name].set(value)
+            return
+        object.__setattr__(self, name, value)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def reset(self) -> None:
+        for name in self.FIELDS:
+            setattr(self, name, 0)

@@ -1,0 +1,179 @@
+"""Lightweight tracing: spans collected into a bounded in-memory buffer.
+
+A :class:`Span` records one timed operation (a price update, a portal
+request) with free-form attributes and an optional parent, forming flat
+traces that are cheap enough to keep on inside the simulator.  The
+:class:`TraceBuffer` is a bounded ring: old spans fall off the back, so a
+long-running portal never grows without bound.
+
+Durations come from the buffer's injectable clock -- wall time in a live
+portal, simulation time when wired to the event engine -- which is what
+makes per-iteration convergence traces meaningful in both settings.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class Span:
+    """One timed, attributed operation."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds between start and finish; ``None`` while still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-safe dict (the shape ``get_metrics`` serves)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class TraceBuffer:
+    """Thread-safe bounded collection of finished and open spans.
+
+    Spans enter the ring when *started* (so a crash mid-operation still
+    leaves its open span visible) and are mutated in place on finish.
+    """
+
+    def __init__(self, capacity: int = 2048, clock: Clock = time.monotonic) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self.dropped = 0
+
+    def start(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Span:
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start=self._clock(),
+            attributes=dict(attributes),
+        )
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self.dropped += 1
+            self._spans.append(span)
+        return span
+
+    def finish(self, span: Span) -> Span:
+        span.end = self._clock()
+        return span
+
+    def span(self, name: str, parent: Optional[Span] = None, **attributes: Any):
+        """Context manager: start on enter, finish on exit (even on error)."""
+        return _SpanContext(self, name, parent, attributes)
+
+    def snapshot(self) -> List[Span]:
+        """Spans oldest-first (a copy; safe to iterate while recording)."""
+        with self._lock:
+            return list(self._spans)
+
+    def by_name(self, name: str) -> List[Span]:
+        return [span for span in self.snapshot() if span.name == name]
+
+    def to_wire(self) -> List[Dict[str, Any]]:
+        return [span.to_wire() for span in self.snapshot()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class _SpanContext:
+    __slots__ = ("_buffer", "_name", "_parent", "_attributes", "span")
+
+    def __init__(self, buffer, name, parent, attributes) -> None:
+        self._buffer = buffer
+        self._name = name
+        self._parent = parent
+        self._attributes = attributes
+
+    def __enter__(self) -> Span:
+        self.span = self._buffer.start(self._name, self._parent, **self._attributes)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.set(error=exc_type.__name__)
+        self._buffer.finish(self.span)
+
+
+class NullTraceBuffer:
+    """No-op :class:`TraceBuffer` twin (see ``NULL_TELEMETRY``)."""
+
+    capacity = 0
+    dropped = 0
+
+    def start(self, name: str, parent: Optional[Span] = None, **attributes: Any) -> Span:
+        return _NULL_SPAN
+
+    def finish(self, span: Span) -> Span:
+        return span
+
+    def span(self, name: str, parent: Optional[Span] = None, **attributes: Any):
+        return _NullSpanContext()
+
+    def snapshot(self) -> List[Span]:
+        return []
+
+    def by_name(self, name: str) -> List[Span]:
+        return []
+
+    def to_wire(self) -> List[Dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+_NULL_SPAN = Span(name="null", span_id=0, parent_id=None, start=0.0, end=0.0)
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info) -> None:
+        pass

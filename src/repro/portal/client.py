@@ -44,13 +44,49 @@ class DiscoveryError(PortalClientError):
 
 
 class PortalClient:
-    """A connection to one iTracker portal."""
+    """A connection to one iTracker portal.
 
-    def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
+    ``telemetry`` (a :class:`repro.observability.Telemetry`) is optional;
+    when given, every call records a per-method latency histogram and
+    call/error counters, and full-view fetches record version-cache
+    hits/misses -- the appTracker-side half of the paper's "aggregated,
+    cacheable" scalability argument made measurable.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 5.0,
+        telemetry: Optional[Any] = None,
+    ) -> None:
         self._address = (host, port)
         self._sock = socket.create_connection(self._address, timeout=timeout)
         self._cached_view: Optional[PDistanceMap] = None
         self._cached_version: Optional[int] = None
+        self._telemetry = telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._calls = registry.counter(
+                "p4p_client_calls_total",
+                "Portal RPCs issued, by method.",
+                ("method",),
+            )
+            self._call_errors = registry.counter(
+                "p4p_client_call_errors_total",
+                "Portal RPCs that failed, by method and kind.",
+                ("method", "kind"),
+            )
+            self._call_latency = registry.histogram(
+                "p4p_client_call_latency_seconds",
+                "Round-trip time per portal RPC, by method.",
+                ("method",),
+            )
+            self._cache_events = registry.counter(
+                "p4p_client_view_cache_total",
+                "Full-view fetches resolved by the version cache, by outcome.",
+                ("outcome",),
+            )
 
     def close(self) -> None:
         try:
@@ -65,6 +101,24 @@ class PortalClient:
         self.close()
 
     def _call(self, method: str, **params: Any) -> Any:
+        if self._telemetry is None:
+            return self._call_raw(method, **params)
+        clock = self._telemetry.clock
+        started = clock()
+        self._calls.labels(method=method).inc()
+        try:
+            result = self._call_raw(method, **params)
+        except PortalTransportError:
+            self._call_errors.labels(method=method, kind="transport").inc()
+            raise
+        except PortalClientError:
+            self._call_errors.labels(method=method, kind="response").inc()
+            raise
+        finally:
+            self._call_latency.labels(method=method).observe(clock() - started)
+        return result
+
+    def _call_raw(self, method: str, **params: Any) -> Any:
         try:
             self._sock.sendall(protocol.encode_frame(protocol.request(method, **params)))
             response = protocol.read_frame(self._sock)
@@ -95,12 +149,18 @@ class PortalClient:
         if pids is None:
             version = self.get_version()
             if self._cached_view is not None and version == self._cached_version:
+                self._count_cache("hit")
                 return self._cached_view
+            self._count_cache("miss")
             view = protocol.pdistance_from_wire(self._call("get_pdistances"))
             self._cached_view = view
             self._cached_version = version
             return view
         return protocol.pdistance_from_wire(self._call("get_pdistances", pids=list(pids)))
+
+    def _count_cache(self, outcome: str) -> None:
+        if self._telemetry is not None:
+            self._cache_events.labels(outcome=outcome).inc()
 
     def get_policy(self) -> NetworkPolicy:
         return NetworkPolicy.from_document(self._call("get_policy"))
@@ -119,6 +179,11 @@ class PortalClient:
     def get_alto_networkmap(self) -> Dict[str, Any]:
         """The PID map as an ALTO network-map document."""
         return self._call("get_alto_networkmap")
+
+    def get_metrics(self, format: str = "json") -> Dict[str, Any]:
+        """Scrape the portal's telemetry snapshot (``json`` or
+        ``prometheus``; the latter returns ``{content_type, text}``)."""
+        return self._call("get_metrics", format=format)
 
 
 class PortalStatus(str, enum.Enum):
@@ -154,6 +219,9 @@ class Integrator:
 
     portals: Dict[int, PortalClient] = field(default_factory=dict)
     health: Dict[int, PortalHealth] = field(default_factory=dict)
+    #: Optional :class:`repro.observability.Telemetry`; when present each
+    #: :meth:`views` pass records per-AS fetch latency and outcome counts.
+    telemetry: Optional[Any] = None
 
     def add(self, as_number: int, client: PortalClient) -> None:
         self.portals[as_number] = client
@@ -171,6 +239,7 @@ class Integrator:
         for as_number, client in self.portals.items():
             record = self.health.setdefault(as_number, PortalHealth())
             get_view = getattr(client, "get_view", None)
+            started = self.telemetry.clock() if self.telemetry is not None else 0.0
             try:
                 if get_view is not None:
                     snapshot = get_view()
@@ -191,7 +260,25 @@ class Integrator:
                 record.consecutive_failures += 1
                 record.last_error = str(exc)
             record.breaker_state = getattr(client, "breaker_state", None)
+            self._record_fetch(as_number, record.status, started)
         return collected
+
+    def _record_fetch(
+        self, as_number: int, status: PortalStatus, started: float
+    ) -> None:
+        if self.telemetry is None:
+            return
+        registry = self.telemetry.registry
+        registry.histogram(
+            "p4p_integrator_view_latency_seconds",
+            "Per-AS view fetch time, stale fallbacks included.",
+            ("as_number",),
+        ).labels(as_number=as_number).observe(self.telemetry.clock() - started)
+        registry.counter(
+            "p4p_integrator_views_total",
+            "View fetch outcomes, by AS and health status.",
+            ("as_number", "status"),
+        ).labels(as_number=as_number, status=status.value).inc()
 
     def status_map(self) -> Dict[int, str]:
         """Plain ``{as_number: "ok" | "stale" | "unavailable"}`` view of

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.pdistance import PDistanceMap
 
@@ -37,6 +37,15 @@ def encode_frame(message: Dict[str, Any]) -> bytes:
 
 def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
     """Read one frame; ``None`` on clean EOF before a header."""
+    framed = read_frame_ex(sock)
+    return framed[0] if framed is not None else None
+
+
+def read_frame_ex(
+    sock: socket.socket,
+) -> Optional[Tuple[Dict[str, Any], int]]:
+    """Like :func:`read_frame` but also returns the wire size in bytes
+    (header + payload) -- what byte-accounting instrumentation needs."""
     header = _read_exact(sock, _HEADER.size, allow_eof=True)
     if header is None:
         return None
@@ -50,7 +59,7 @@ def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
         raise ProtocolError(f"bad JSON payload: {exc}") from exc
     if not isinstance(message, dict):
         raise ProtocolError("message must be a JSON object")
-    return message
+    return message, _HEADER.size + length
 
 
 def _read_exact(

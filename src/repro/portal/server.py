@@ -11,19 +11,37 @@ requests.  Methods mirror the iTracker interfaces:
 * ``lookup_pid`` (params: ``ip``) -- client IP -> (PID, AS);
 * ``get_version`` -- the price-state version for cache validation;
 * ``get_alto_costmap`` / ``get_alto_networkmap`` -- the same state in ALTO
-  (RFC 7285) document form for interoperability with ALTO clients.
+  (RFC 7285) document form for interoperability with ALTO clients;
+* ``get_metrics`` (params: optional ``format``: ``json``/``prometheus``) --
+  the portal's telemetry snapshot, so operators and appTrackers can scrape
+  any iTracker over the protocol it already speaks.
+
+Every dispatch is instrumented into the server's
+:class:`~repro.observability.telemetry.Telemetry` bundle (request counts,
+latency histogram, in-flight gauge, frame bytes in/out); pass
+``telemetry=NULL_TELEMETRY`` to disable.  The bundle is shared with the
+fronted iTracker (unless it already has one), so ``get_metrics`` exposes
+price-update convergence alongside the request-path metrics.
 """
 
 from __future__ import annotations
 
+import logging
 import socket
 import socketserver
 import threading
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.capability import AccessDeniedError, CapabilityKind
 from repro.core.itracker import ITracker
+from repro.observability import (
+    DEFAULT_LATENCY_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    Telemetry,
+)
 from repro.portal import protocol
+
+logger = logging.getLogger(__name__)
 
 
 class PortalRequestError(Exception):
@@ -35,14 +53,18 @@ class _Handler(socketserver.BaseRequestHandler):
         server: "PortalServer" = self.server.portal  # type: ignore[attr-defined]
         while True:
             try:
-                message = protocol.read_frame(self.request)
+                framed = protocol.read_frame_ex(self.request)
             except protocol.ProtocolError:
                 break
-            if message is None:
+            if framed is None:
                 break
+            message, frame_bytes = framed
+            server._bytes_in.inc(frame_bytes)
             response = server.dispatch(message)
+            payload = protocol.encode_frame(response)
+            server._bytes_out.inc(len(payload))
             try:
-                self.request.sendall(protocol.encode_frame(response))
+                self.request.sendall(payload)
             except OSError:
                 break
 
@@ -55,8 +77,48 @@ class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
 class PortalServer:
     """Serve one iTracker on a host/port until :meth:`close`."""
 
-    def __init__(self, itracker: ITracker, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        itracker: ITracker,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.itracker = itracker
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # One bundle per process: price-update instruments land in the same
+        # registry the request path writes, so a single scrape sees both.
+        if getattr(itracker, "telemetry", None) is None:
+            itracker.telemetry = self.telemetry
+        registry = self.telemetry.registry
+        self._requests = registry.counter(
+            "p4p_portal_requests_total",
+            "Requests dispatched, by method and outcome.",
+            ("method",),
+        )
+        self._errors = registry.counter(
+            "p4p_portal_errors_total",
+            "Error responses, by method and error kind.",
+            ("method", "kind"),
+        )
+        self._latency = registry.histogram(
+            "p4p_portal_request_latency_seconds",
+            "Dispatch wall time per request, by method.",
+            ("method",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._inflight = registry.gauge(
+            "p4p_portal_inflight_requests",
+            "Requests currently inside dispatch.",
+        ).labels()
+        self._bytes_in = registry.counter(
+            "p4p_portal_frame_bytes_total",
+            "Wire bytes moved, by direction.",
+            ("direction",),
+        ).labels(direction="in")
+        self._bytes_out = registry.counter(
+            "p4p_portal_frame_bytes_total", "", ("direction",)
+        ).labels(direction="out")
         self._server = _ThreadedTcpServer((host, port), _Handler)
         self._server.portal = self  # type: ignore[attr-defined]
         self._thread = threading.Thread(
@@ -83,21 +145,53 @@ class PortalServer:
     def dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Route one request message to the iTracker; never raises."""
         method = message.get("method")
+        # Only known method names become label values (bounded cardinality);
+        # everything else shares the "<unknown>" series.
+        handler = (
+            getattr(self, f"_do_{method}", None) if isinstance(method, str) else None
+        )
+        label = method if handler is not None else "<unknown>"
+        clock = self.telemetry.clock
+        started = clock()
+        self._inflight.inc()
+        try:
+            response = self._dispatch_inner(method, handler, message)
+        finally:
+            self._inflight.dec()
+            self._latency.labels(method=label).observe(clock() - started)
+            self._requests.labels(method=label).inc()
+        return response
+
+    def _dispatch_inner(
+        self, method: Any, handler: Optional[Any], message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        label = method if handler is not None else "<unknown>"
         params = message.get("params") or {}
         if not isinstance(params, dict):
+            self._errors.labels(method=label, kind="request").inc()
             return protocol.error("params must be an object")
         try:
-            handler = getattr(self, f"_do_{method}", None)
             if handler is None:
                 raise PortalRequestError(f"unknown method {method!r}")
             return protocol.ok(handler(params))
         except (PortalRequestError, AccessDeniedError, ValueError) as exc:
+            self._errors.labels(method=label, kind="request").inc()
             return protocol.error(str(exc))
         except KeyError as exc:
             # str(KeyError('SEAT')) is the bare repr "'SEAT'" -- useless to a
             # remote client; name the failure so the message is actionable.
+            self._errors.labels(method=label, kind="request").inc()
             key = exc.args[0] if exc.args else exc
             return protocol.error(f"unknown key: {key!r}")
+        except Exception as exc:
+            # Last resort: an unexpected bug in a handler must neither kill
+            # the connection nor vanish silently -- log it, count it, and
+            # answer with a structured error frame the client can surface.
+            logger.exception("unexpected error dispatching %r", method)
+            self._errors.labels(method=label, kind="internal").inc()
+            return protocol.error(
+                f"internal error: {type(exc).__name__}: {exc}"
+            )
 
     def _do_get_pdistances(self, params: Dict[str, Any]) -> Dict[str, Any]:
         pids = params.get("pids")
@@ -146,6 +240,17 @@ class PortalServer:
     def _do_get_version(self, params: Dict[str, Any]):
         return {"version": self.itracker.version}
 
+    def _do_get_metrics(self, params: Dict[str, Any]):
+        fmt = params.get("format", "json")
+        if fmt == "json":
+            return self.telemetry.snapshot()
+        if fmt == "prometheus":
+            return {
+                "content_type": PROMETHEUS_CONTENT_TYPE,
+                "text": self.telemetry.prometheus(),
+            }
+        raise PortalRequestError(f"unknown metrics format {fmt!r}")
+
     def _do_get_alto_costmap(self, params: Dict[str, Any]):
         from repro.portal import alto
 
@@ -156,10 +261,10 @@ class PortalServer:
         )
 
     def _do_get_alto_networkmap(self, params: Dict[str, Any]):
-        from repro.portal import alto
-
         if self.itracker.pid_map is None:
             raise PortalRequestError("iTracker has no PID map provisioned")
+        from repro.portal import alto
+
         return alto.network_map_from_pidmap(
             self.itracker.pid_map, map_vtag=f"p4p-{self.itracker.version}"
         )

@@ -33,8 +33,8 @@ from repro.apptracker.selection import (
 )
 from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
 from repro.core.pdistance import PDistanceMap
-from repro.management.monitors import ResilienceCounters
 from repro.network.library import abilene
+from repro.observability import RegistryResilienceCounters, Telemetry
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
 from repro.portal.client import Integrator
@@ -74,6 +74,9 @@ class OutageScenarioResult:
     health_timeline: List[Tuple[float, str]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     native_fallbacks: int = 0
+    #: The degraded run's sim-clock telemetry bundle (resilience gauges,
+    #: stale-age histogram, ``p4p_sim_*`` sampling gauges).
+    telemetry: Optional[Telemetry] = None
 
     @staticmethod
     def backbone_mbit(result: SwarmResult) -> float:
@@ -168,7 +171,6 @@ def run_portal_outage(
     itracker = ITracker(
         topology=topo, config=ITrackerConfig(mode=PriceMode.HOP_COUNT)
     )
-    counters = ResilienceCounters()
     timeline: List[Tuple[float, str]] = []
     views: Dict[int, PDistanceMap] = {}
     health: Dict[int, str] = {}
@@ -177,6 +179,21 @@ def run_portal_outage(
         topo, routing, config, selector, n_peers, placement_seed, until
     )
     engine = sim.engine
+    # Sim-clock telemetry: histograms and gauges measure *simulated*
+    # seconds, so the stale-age distribution is deterministic across runs.
+    telemetry = Telemetry(clock=lambda: engine.now)
+    sim.telemetry = telemetry
+    counters = RegistryResilienceCounters(telemetry.registry)
+    stale_age_hist = telemetry.registry.histogram(
+        "p4p_sim_stale_age_seconds",
+        "Age of stale views served during the outage (simulated seconds).",
+        buckets=(1.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0),
+    )
+    health_gauge = telemetry.registry.gauge(
+        "p4p_sim_portal_health",
+        "Portal health at the last refresh (0 ok, 1 stale, 2 unavailable).",
+    )
+    _HEALTH_LEVELS = {"ok": 0, "stale": 1, "unavailable": 2}
 
     with PortalServer(itracker) as server, FaultyPortal(server.address) as proxy:
         client = ResilientPortalClient(
@@ -195,7 +212,7 @@ def run_portal_outage(
             rng=random.Random(config.rng_seed),
             counters=counters,
         )
-        integrator = Integrator()
+        integrator = Integrator(telemetry=telemetry)
         integrator.add(as_number, client)
 
         def refresh(now: float) -> None:
@@ -205,7 +222,12 @@ def run_portal_outage(
             views.update(fetched)
             health.clear()
             health.update(integrator.status_map())
-            timeline.append((now, health.get(as_number, "unavailable")))
+            status = health.get(as_number, "unavailable")
+            timeline.append((now, status))
+            health_gauge.set(_HEALTH_LEVELS.get(status, 2))
+            record = integrator.health.get(as_number)
+            if status == "stale" and record is not None and record.stale_age:
+                stale_age_hist.observe(record.stale_age)
 
         refresh(0.0)
         sim.tracker_hook = lambda now, traffic, rates: refresh(now)
@@ -218,6 +240,7 @@ def run_portal_outage(
             refresh(engine.now)
         integrator.close()
 
+    counters.native_fallbacks = selector.native_fallbacks
     return OutageScenarioResult(
         healthy=healthy,
         degraded=degraded,
@@ -225,4 +248,5 @@ def run_portal_outage(
         health_timeline=timeline,
         counters=counters.snapshot(),
         native_fallbacks=selector.native_fallbacks,
+        telemetry=telemetry,
     )

@@ -164,6 +164,7 @@ class SwarmSimulation:
         shared_net: Optional[FlowNetwork] = None,
         shared_engine: Optional[EventEngine] = None,
         swarm_id: str = "swarm",
+        telemetry: Optional[object] = None,
     ) -> None:
         if not peers:
             raise ValueError("swarm needs at least one downloading peer")
@@ -181,6 +182,10 @@ class SwarmSimulation:
         self.access_overrides = dict(access_overrides) if access_overrides else {}
         self.transfer_listener = transfer_listener
         self.swarm_id = swarm_id
+        #: Optional :class:`repro.observability.Telemetry`.  Give it the sim
+        #: clock (``Telemetry(clock=lambda: engine.now)``) so every periodic
+        #: sample lands in the ``p4p_sim_*`` gauges as simulated time-series.
+        self.telemetry = telemetry
         self.rng = random.Random(config.rng_seed)
         self.engine = shared_engine or EventEngine()
         self.net = shared_net or FlowNetwork()
@@ -443,6 +448,39 @@ class SwarmSimulation:
                 link_cumulative_mbit=link_cum,
             )
         )
+        if self.telemetry is not None:
+            self._export_sample(self.samples[-1])
+
+    def _export_sample(self, sample: UtilizationSample) -> None:
+        """Mirror the latest periodic sample into the ``p4p_sim_*`` gauges."""
+        registry = self.telemetry.registry
+        labels = {"swarm": self.swarm_id}
+        registry.gauge(
+            "p4p_sim_max_link_utilization",
+            "Max backbone utilization at the last sample, per swarm.",
+            ("swarm",),
+        ).labels(**labels).set(sample.max_utilization)
+        registry.gauge(
+            "p4p_sim_swarm_size",
+            "Downloading peers currently joined, per swarm.",
+            ("swarm",),
+        ).labels(**labels).set(sample.swarm_size)
+        completed = sum(
+            1
+            for peer in self.peers.values()
+            if not peer.is_seed and peer.completed_at is not None
+        )
+        registry.gauge(
+            "p4p_sim_completed_peers",
+            "Peers that finished the download, per swarm.",
+            ("swarm",),
+        ).labels(**labels).set(completed)
+        downloaders = sum(1 for peer in self.peers.values() if not peer.is_seed)
+        registry.gauge(
+            "p4p_sim_completion_fraction",
+            "Completed share of all downloaders, per swarm.",
+            ("swarm",),
+        ).labels(**labels).set(completed / downloaders if downloaders else 0.0)
 
     def _run_tracker_hook(self) -> None:
         if self.tracker_hook is None:

@@ -9,7 +9,13 @@ Examples::
     python -m repro.tools.cli table1
     python -m repro.tools.cli fig6 --peers 120 --runs 2
     python -m repro.tools.cli fieldtest --clients 600
+    python -m repro.tools.cli telemetry --portal 127.0.0.1:6671
     python -m repro.tools.cli list
+
+``telemetry`` is the operator-facing scrape: it calls ``get_metrics`` on
+one or more live portals and renders the text dashboard (request rates,
+latency percentiles, price-update convergence, resilience counters), or
+dumps the raw Prometheus/JSON exposition for piping elsewhere.
 """
 
 from __future__ import annotations
@@ -143,6 +149,33 @@ def _run_ablations(args: argparse.Namespace, out) -> None:
     )
 
 
+def _parse_portal(spec: str):
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad --portal {spec!r}; expected host:port")
+    return host, int(port)
+
+
+def _run_telemetry(args: argparse.Namespace, out) -> None:
+    from repro.observability.dashboard import render_dashboard
+    from repro.portal.client import PortalClient
+
+    documents = {}
+    for spec in args.portal:
+        host, port = _parse_portal(spec)
+        with PortalClient(host, port, timeout=args.timeout) as client:
+            if args.format == "prometheus":
+                print(client.get_metrics(format="prometheus")["text"], file=out)
+            elif args.format == "json":
+                documents[spec] = client.get_metrics()
+            else:
+                print(render_dashboard(client.get_metrics(), title=spec), file=out)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(documents, sort_keys=True, indent=2), file=out)
+
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "table1": _run_table1,
     "fig6": _run_fig6,
@@ -153,6 +186,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "fieldtest": _run_fieldtest,
     "sec8": _run_sec8,
     "ablations": _run_ablations,
+    "telemetry": _run_telemetry,
 }
 
 
@@ -181,6 +215,22 @@ def build_parser() -> argparse.ArgumentParser:
     sec8.add_argument("--swarms", type=int, default=34_721)
     ablations = sub.add_parser("ablations", help="design-choice ablations")
     ablations.add_argument("--iterations", type=int, default=60)
+    telemetry = sub.add_parser(
+        "telemetry", help="scrape live portals' get_metrics and render them"
+    )
+    telemetry.add_argument(
+        "--portal",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="portal address; repeat to scrape several iTrackers",
+    )
+    telemetry.add_argument(
+        "--format",
+        choices=("dashboard", "prometheus", "json"),
+        default="dashboard",
+    )
+    telemetry.add_argument("--timeout", type=float, default=5.0)
     return parser
 
 

@@ -304,3 +304,24 @@ class TestOutageScenario:
         native_bb = OutageScenarioResult.backbone_mbit(result.native)
         assert healthy_bb < native_bb
         assert healthy_bb * 0.95 <= degraded_bb <= native_bb * 1.1
+
+        # The degraded run carries a Telemetry bundle driven by the *sim*
+        # clock: its registry uptime is sim-seconds, not wall-seconds, and
+        # the stale-age histogram observed sim-time view ages.
+        telemetry = result.telemetry
+        assert telemetry is not None
+        assert telemetry.registry.uptime() > 60.0  # sim ran for minutes
+        stale_age = telemetry.registry.get("p4p_sim_stale_age_seconds")
+        assert stale_age.labels().count > 0
+        assert stale_age.labels().sum > 0
+        # The registry-backed resilience gauges are the same numbers the
+        # result reports through the dataclass-compatible snapshot.
+        resilience = {
+            name: telemetry.registry.get(f"p4p_resilience_{name}").labels().value
+            for name in ("stale_serves", "breaker_trips", "unavailable")
+        }
+        for name, value in resilience.items():
+            assert value == result.counters[name]
+        # Portal health gauge ends the run back at 0 (= "ok").
+        health = telemetry.registry.get("p4p_sim_portal_health")
+        assert health.labels().value == 0

@@ -285,6 +285,209 @@ class TestPortalEndToEnd:
         assert not errors
 
 
+class TestPortalTelemetry:
+    """The get_metrics interface and the server's instrumented dispatch."""
+
+    def test_get_metrics_json_reflects_served_requests(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            for _ in range(3):
+                client.get_version()
+            client.get_metrics()
+            snapshot = client.get_metrics()
+        requests = next(
+            m
+            for m in snapshot["metrics"]
+            if m["name"] == "p4p_portal_requests_total"
+        )
+        by_method = {
+            s["labels"]["method"]: s["value"] for s in requests["samples"]
+        }
+        assert by_method["get_version"] == 3
+        # A scrape counts itself only once finished, so the second scrape
+        # sees exactly the first one.
+        assert by_method["get_metrics"] == 1
+        inflight = next(
+            m
+            for m in snapshot["metrics"]
+            if m["name"] == "p4p_portal_inflight_requests"
+        )
+        # ...and sees itself as the one request currently in flight.
+        assert inflight["samples"][0]["value"] == 1
+
+    def test_get_metrics_prometheus_round_trips_json(self, portal):
+        from repro.observability import flatten_snapshot, parse_prometheus_text
+
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            client.get_version()
+            # Scrape twice back-to-back; between the two scrapes exactly the
+            # first scrape's own request lands in the registry.
+            snapshot = client.get_metrics()
+            prom = client.get_metrics(format="prometheus")
+        assert prom["content_type"].startswith("text/plain")
+        parsed = parse_prometheus_text(prom["text"])
+        flat = flatten_snapshot(snapshot)
+        # Every series of the JSON snapshot appears in the exposition, and
+        # only request-path series may have advanced in between.
+        for key, value in flat.items():
+            assert key in parsed
+            if value != parsed[key]:
+                assert key.startswith(
+                    ("p4p_portal_requests_total", "p4p_portal_request_latency",
+                     "p4p_portal_frame_bytes_total")
+                )
+
+    def test_get_metrics_unknown_format_is_error(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            with pytest.raises(PortalClientError, match="unknown metrics format"):
+                client.get_metrics(format="xml")
+
+    def test_latency_and_bytes_instruments_populate(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            client.get_pdistances()
+            snapshot = client.get_metrics()
+        latency = next(
+            m
+            for m in snapshot["metrics"]
+            if m["name"] == "p4p_portal_request_latency_seconds"
+        )
+        methods = {s["labels"]["method"] for s in latency["samples"]}
+        assert "get_pdistances" in methods
+        bytes_metric = next(
+            m
+            for m in snapshot["metrics"]
+            if m["name"] == "p4p_portal_frame_bytes_total"
+        )
+        by_direction = {
+            s["labels"]["direction"]: s["value"] for s in bytes_metric["samples"]
+        }
+        assert by_direction["in"] > 0
+        assert by_direction["out"] > by_direction["in"]  # views are big
+
+    def test_unexpected_exception_returns_structured_error(self, portal):
+        """Satellite: a buggy handler is logged and counted, the client gets
+        an error frame, and the connection survives for the next request."""
+
+        def exploding(params):
+            raise RuntimeError("handler bug")
+
+        portal._do_get_policy = exploding
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            with pytest.raises(
+                PortalClientError, match="internal error: RuntimeError: handler bug"
+            ):
+                client.get_policy()
+            # Same connection still serves requests afterwards.
+            assert isinstance(client.get_version(), int)
+            snapshot = client.get_metrics()
+        errors = next(
+            m for m in snapshot["metrics"] if m["name"] == "p4p_portal_errors_total"
+        )
+        internal = [
+            s for s in errors["samples"] if s["labels"]["kind"] == "internal"
+        ]
+        assert internal and internal[0]["value"] == 1
+        assert internal[0]["labels"]["method"] == "get_policy"
+
+    def test_unknown_methods_share_one_label(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            for bogus in ("nope_1", "nope_2", "nope_3"):
+                with pytest.raises(PortalClientError):
+                    client._call(bogus)
+            snapshot = client.get_metrics()
+        requests = next(
+            m
+            for m in snapshot["metrics"]
+            if m["name"] == "p4p_portal_requests_total"
+        )
+        by_method = {
+            s["labels"]["method"]: s["value"] for s in requests["samples"]
+        }
+        assert by_method["<unknown>"] == 3
+        assert not any(name.startswith("nope") for name in by_method)
+
+    @pytest.mark.timeout(30)
+    def test_threaded_hammering_counts_exactly(self, portal):
+        """Satellite: concurrent connection handlers share one registry
+        without losing updates."""
+        host, port = portal.address
+        n_threads, n_calls = 6, 25
+        errors = []
+
+        def worker():
+            try:
+                with PortalClient(host, port) as client:
+                    for _ in range(n_calls):
+                        client.get_version()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        requests = portal.telemetry.registry.get("p4p_portal_requests_total")
+        assert requests.labels(method="get_version").value == n_threads * n_calls
+        inflight = portal.telemetry.registry.get("p4p_portal_inflight_requests")
+        assert inflight.labels().value == 0
+
+    def test_null_telemetry_disables_collection(self, itracker):
+        from repro.observability import NULL_TELEMETRY
+
+        itracker.telemetry = NULL_TELEMETRY
+        with PortalServer(itracker, telemetry=NULL_TELEMETRY) as server:
+            host, port = server.address
+            with PortalClient(host, port) as client:
+                client.get_version()
+                snapshot = client.get_metrics()
+        assert snapshot["metrics"] == []
+
+    def test_client_side_cache_and_latency_instruments(self, portal):
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry()
+        host, port = portal.address
+        with PortalClient(host, port, telemetry=telemetry) as client:
+            client.get_pdistances()
+            client.get_pdistances()  # version unchanged -> cache hit
+        cache = telemetry.registry.get("p4p_client_view_cache_total")
+        assert cache.labels(outcome="miss").value == 1
+        assert cache.labels(outcome="hit").value == 1
+        latency = telemetry.registry.get("p4p_client_call_latency_seconds")
+        assert latency.labels(method="get_version").count == 2
+
+    def test_itracker_price_updates_visible_via_get_metrics(self):
+        topo = abilene()
+        tracker = ITracker(
+            topology=topo, config=ITrackerConfig(mode=PriceMode.DYNAMIC)
+        )
+        with PortalServer(tracker) as server:
+            loads = {key: 100.0 for key in list(topo.links)[:4]}
+            for _ in range(3):
+                tracker.observe_loads(loads)
+            host, port = server.address
+            with PortalClient(host, port) as client:
+                snapshot = client.get_metrics()
+        version = next(
+            m for m in snapshot["metrics"] if m["name"] == "p4p_core_price_version"
+        )
+        assert version["samples"][0]["value"] == 3
+        update_spans = [
+            span
+            for span in snapshot["spans"]
+            if span["name"] == "itracker.price_update"
+        ]
+        assert len(update_spans) == 3
+        assert update_spans[-1]["attributes"]["supergradient_norm"] > 0
+
+
 class TestIntegrator:
     def test_collects_views_per_as(self, itracker):
         with PortalServer(itracker) as server:

@@ -115,6 +115,56 @@ class TestCli:
             build_parser().parse_args([])
 
 
+class TestCliTelemetry:
+    @pytest.fixture
+    def live_portal(self):
+        from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+        from repro.portal.client import PortalClient
+        from repro.portal.server import PortalServer
+
+        tracker = ITracker(
+            topology=abilene(), config=ITrackerConfig(mode=PriceMode.HOP_COUNT)
+        )
+        with PortalServer(tracker) as server:
+            host, port = server.address
+            with PortalClient(host, port) as client:
+                client.get_version()
+                client.get_pdistances()
+            yield f"{host}:{port}"
+
+    def test_dashboard(self, live_portal):
+        out = io.StringIO()
+        code = main(["telemetry", "--portal", live_portal], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert f"telemetry: {live_portal}" in text
+        assert "get_version" in text and "qps" in text
+
+    def test_prometheus_format(self, live_portal):
+        out = io.StringIO()
+        code = main(
+            ["telemetry", "--portal", live_portal, "--format", "prometheus"],
+            out=out,
+        )
+        assert code == 0
+        assert "# TYPE p4p_portal_requests_total counter" in out.getvalue()
+
+    def test_json_format(self, live_portal):
+        out = io.StringIO()
+        code = main(
+            ["telemetry", "--portal", live_portal, "--format", "json"], out=out
+        )
+        assert code == 0
+        document = json.loads(out.getvalue())
+        assert live_portal in document
+        names = {m["name"] for m in document[live_portal]["metrics"]}
+        assert "p4p_portal_requests_total" in names
+
+    def test_bad_portal_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["telemetry", "--portal", "no-port-here"], out=io.StringIO())
+
+
 class TestCliAblations:
     def test_ablations_command(self):
         out = io.StringIO()
