@@ -142,6 +142,119 @@ def _progressive_fill(
     return rates
 
 
+def _multi_range(indptr: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(indptr[i], indptr[i+1])`` for every id, vectorized."""
+    starts = indptr[ids]
+    lens = indptr[ids + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    offsets = np.concatenate(([0], np.cumsum(lens[:-1])))
+    return np.repeat(starts - offsets, lens) + np.arange(total, dtype=np.intp)
+
+
+def _progressive_fill_fast(
+    link_of: np.ndarray,
+    flow_of: np.ndarray,
+    capacities: np.ndarray,
+    n_flows: int,
+    caps: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Water-filling with the same freeze events as :func:`_progressive_fill`
+    but O(entries + iterations x links) instead of O(iterations x entries).
+
+    The per-iteration ``bincount`` over every entry is replaced by link
+    crossing-counts maintained incrementally (exact: counts are integers),
+    flows/links are gathered through CSR index arrays, and the running
+    minimum of active rate caps comes from one upfront sort.  Arithmetic is
+    ordered exactly as in the reference loop, so given identical inputs the
+    returned rates are bit-identical -- the vectorized simulator engine
+    relies on this to stay interchangeable with the scalar one.
+    """
+    if caps is None:
+        caps = np.full(n_flows, np.inf)
+    n_links = capacities.size
+    rates = np.full(n_flows, np.inf)
+    crosses = np.zeros(n_flows, dtype=bool)
+    crosses[flow_of] = True
+    rates[~crosses] = caps[~crosses]
+    active = crosses.copy()
+    n_active = int(active.sum())
+    remaining = capacities.astype(float).copy()
+    if n_active == 0:
+        return rates
+
+    # CSR views of the incidence, by link and by flow.
+    by_link = np.argsort(link_of, kind="stable")
+    link_sorted_flows = flow_of[by_link]
+    link_indptr = np.zeros(n_links + 1, dtype=np.intp)
+    np.cumsum(np.bincount(link_of, minlength=n_links), out=link_indptr[1:])
+    by_flow = np.argsort(flow_of, kind="stable")
+    flow_sorted_links = link_of[by_flow]
+    flow_indptr = np.zeros(n_flows + 1, dtype=np.intp)
+    np.cumsum(np.bincount(flow_of, minlength=n_flows), out=flow_indptr[1:])
+
+    counts = (link_indptr[1:] - link_indptr[:-1]).astype(float)
+    loaded = counts > 0
+    finite_ids = np.flatnonzero(np.isfinite(caps) & active)
+    cap_order = finite_ids[np.argsort(caps[finite_ids], kind="stable")]
+    cap_ptr = 0
+    level = 0.0
+    link_levels = np.empty(n_links)
+    scratch = np.zeros(n_flows, dtype=bool)  # dedups saturated flows
+
+    while n_active > 0:
+        link_levels.fill(np.inf)
+        np.divide(remaining, counts, out=link_levels, where=loaded)
+        link_levels += level
+        saturation_level = float(link_levels.min()) if n_links else np.inf
+        while cap_ptr < cap_order.size and not active[cap_order[cap_ptr]]:
+            cap_ptr += 1
+        cap_level = (
+            float(caps[cap_order[cap_ptr]])
+            if cap_ptr < cap_order.size
+            else np.inf
+        )
+        next_level = min(saturation_level, cap_level)
+        delta = max(0.0, next_level - level)
+        np.maximum(remaining - delta * counts, 0.0, out=remaining)
+        level = next_level
+
+        capped: List[int] = []
+        if cap_level <= saturation_level + _EPS:
+            while (
+                cap_ptr < cap_order.size
+                and caps[cap_order[cap_ptr]] <= level + _EPS
+            ):
+                flow = int(cap_order[cap_ptr])
+                cap_ptr += 1
+                if active[flow]:
+                    active[flow] = False
+                    capped.append(flow)
+        if saturation_level <= cap_level + _EPS:
+            bottleneck = np.flatnonzero(loaded & (link_levels <= level + _EPS))
+            hits = link_sorted_flows[_multi_range(link_indptr, bottleneck)]
+            scratch[hits] = active[hits]
+            saturated = np.flatnonzero(scratch)
+            scratch[saturated] = False
+        else:
+            saturated = np.empty(0, dtype=np.intp)
+        active[saturated] = False
+        frozen = np.concatenate(
+            (np.asarray(capped, dtype=np.intp), saturated)
+        )
+        if not frozen.size:  # numerical safety net; should not happen
+            frozen = np.flatnonzero(active)
+            active[frozen] = False
+        rates[frozen] = np.minimum(np.maximum(level, 0.0), caps[frozen])
+        np.subtract.at(
+            counts, flow_sorted_links[_multi_range(flow_indptr, frozen)], 1.0
+        )
+        loaded = counts > 0
+        n_active -= frozen.size
+    return rates
+
+
 def link_loads(
     flow_links: Sequence[Sequence[int]],
     rates: Sequence[float],

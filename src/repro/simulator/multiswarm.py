@@ -23,12 +23,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.simulator.engine import EventEngine
 from repro.simulator.swarm import SwarmResult, SwarmSimulation
-from repro.simulator.tcp import FlowNetwork
+from repro.simulator.tcp import FlowNetwork, make_flow_network
 
 
-def shared_substrate() -> Tuple[FlowNetwork, EventEngine]:
-    """A fresh (flow network, event engine) pair for parallel swarms."""
-    return FlowNetwork(), EventEngine()
+def shared_substrate(
+    engine: Optional[str] = None, telemetry: Optional[object] = None
+) -> Tuple[FlowNetwork, EventEngine]:
+    """A fresh (flow network, event engine) pair for parallel swarms.
+
+    ``engine`` selects the flow engine ("scalar" / "vectorized"; None
+    consults ``$P4P_SIM_ENGINE``); contention between the swarms is
+    modelled identically under either.
+    """
+    return make_flow_network(engine, telemetry=telemetry), EventEngine()
 
 
 class MultiSwarmSimulation:

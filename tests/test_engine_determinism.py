@@ -1,0 +1,94 @@
+"""Determinism regression: both engines replay the Fig. 7/8 code path.
+
+Two guarantees are pinned here, at reduced scale so the suite stays fast:
+
+* same RNG seed, same engine, run twice -> *identical* results (no hidden
+  global state, no dict-order or floating-accumulation drift);
+* scalar vs vectorized engine, same RNG seed -> identical completion-time
+  traces and link traffic.  The swarm protocol consumes randomness in
+  event order, so this only holds because the vectorized engine reproduces
+  the scalar engine's completion *ordering* exactly; the 0.1 s completion
+  quantum of the sweep configuration absorbs any sub-ulp rate differences
+  the incremental solves introduce.
+
+This is the property that lets experiments flip ``engine="vectorized"``
+(or ``$P4P_SIM_ENGINE=vectorized``) without perturbing a single figure.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.comparison import run_scheme
+from repro.experiments.fig7_fig8_sweep import sweep_config
+from repro.network.library import abilene
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+from repro.simulator.swarm import SwarmConfig
+from repro.simulator.tcp import ENGINE_ENV_VAR, make_flow_network, resolve_engine
+
+N_PEERS = 48
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topology = abilene()
+    # Give the backbone P2P headroom the way the experiment topologies do.
+    for link in topology.links.values():
+        link.background = 0.3 * link.capacity
+    return topology, RoutingTable.build(topology)
+
+
+def _trace(topology, routing, scheme, engine, rng_seed=23):
+    config = sweep_config(N_PEERS, rng_seed=rng_seed)
+    config.engine = engine
+    outcome = run_scheme(topology, routing, config, scheme)
+    result = outcome.result
+    return (
+        sorted(result.completion_times.items()),
+        sorted(result.finish_at.items()),
+        sorted(result.link_traffic_mbit.items()),
+    )
+
+
+@pytest.mark.parametrize("scheme", ["native", "localized"])
+def test_same_seed_same_engine_reproduces(scenario, scheme):
+    topology, routing = scenario
+    first = _trace(topology, routing, scheme, engine="vectorized")
+    second = _trace(topology, routing, scheme, engine="vectorized")
+    assert first == second
+
+
+@pytest.mark.parametrize("scheme", ["native", "localized"])
+def test_engines_produce_identical_traces(scenario, scheme):
+    """The headline guarantee: flipping the engine changes nothing."""
+    topology, routing = scenario
+    scalar = _trace(topology, routing, scheme, engine="scalar")
+    vector = _trace(topology, routing, scheme, engine="vectorized")
+    assert scalar[0] == vector[0], "completion-time traces diverged"
+    assert scalar[1] == vector[1], "absolute finish timestamps diverged"
+    assert scalar[2] == vector[2], "per-link traffic diverged"
+
+
+def test_seed_changes_the_outcome(scenario):
+    """Sanity check that the traces above are not trivially constant."""
+    topology, routing = scenario
+    a = _trace(topology, routing, "native", engine="vectorized", rng_seed=23)
+    b = _trace(topology, routing, "native", engine="vectorized", rng_seed=24)
+    assert a != b
+
+
+def test_env_var_selects_engine(monkeypatch):
+    monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+    assert resolve_engine(None) == "scalar"
+    monkeypatch.setenv(ENGINE_ENV_VAR, "vectorized")
+    assert resolve_engine(None) == "vectorized"
+    # Explicit choice wins over the environment.
+    assert resolve_engine("scalar") == "scalar"
+    net = make_flow_network()
+    assert type(net).__name__ == "VectorizedFlowNetwork"
+    monkeypatch.setenv(ENGINE_ENV_VAR, "nonsense")
+    with pytest.raises(ValueError):
+        resolve_engine(None)
+    with pytest.raises(ValueError):
+        SwarmConfig(engine="nonsense")

@@ -1,0 +1,240 @@
+"""Property-based tests for the max-min allocation invariants.
+
+Plain seeded pytest (no hypothesis dependency): each case draws a random
+instance from one of three generators -- unstructured random incidences,
+access-network-shaped instances (per-peer up/down links plus shared
+backbone links, the simulator's actual shape), and heavily rate-capped
+instances -- and checks the defining properties of max-min fairness:
+
+* feasibility: no link carries more than its capacity;
+* bottleneck justification: every flow either sits at its rate cap or
+  crosses a saturated link (otherwise its rate could be raised, which
+  contradicts max-min);
+* removal monotonicity: deleting any flow never lowers anyone else's rate.
+
+The fast CSR fill used by the vectorized engine must agree *bit for bit*
+with the reference fill on every instance.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.optimization.maxmin import (
+    _build_entries,
+    _progressive_fill,
+    _progressive_fill_fast,
+    link_loads,
+    maxmin_rates,
+    verify_maxmin,
+)
+
+_TOL = 1e-6
+N_SEEDS = 70
+
+
+def _uniform_instance(rng):
+    n_links = rng.randint(2, 15)
+    n_flows = rng.randint(1, 40)
+    capacities = [rng.uniform(0.5, 60.0) for _ in range(n_links)]
+    flow_links = [
+        rng.sample(range(n_links), rng.randint(0, min(4, n_links)))
+        for _ in range(n_flows)
+    ]
+    caps = [
+        rng.uniform(0.2, 25.0) if rng.random() < 0.3 else None
+        for _ in range(n_flows)
+    ]
+    return flow_links, capacities, caps
+
+
+def _access_instance(rng):
+    """Up/down access links per peer plus a few shared backbone links."""
+    n_peers = rng.randint(3, 12)
+    n_backbone = rng.randint(1, 4)
+    capacities = []
+    up, down = [], []
+    for _ in range(n_peers):
+        up.append(len(capacities))
+        capacities.append(rng.uniform(5.0, 15.0))
+        down.append(len(capacities))
+        capacities.append(rng.uniform(10.0, 30.0))
+    backbone = []
+    for _ in range(n_backbone):
+        backbone.append(len(capacities))
+        capacities.append(rng.uniform(20.0, 200.0))
+    n_flows = rng.randint(1, 3 * n_peers)
+    flow_links, caps = [], []
+    for _ in range(n_flows):
+        src, dst = rng.sample(range(n_peers), 2)
+        links = [up[src], down[dst]]
+        if rng.random() < 0.5:
+            links.extend(rng.sample(backbone, rng.randint(1, n_backbone)))
+        flow_links.append(links)
+        caps.append(rng.uniform(1.0, 25.0) if rng.random() < 0.5 else None)
+    return flow_links, capacities, caps
+
+
+def _capped_instance(rng):
+    flow_links, capacities, _ = _uniform_instance(rng)
+    caps = [rng.uniform(0.05, 5.0) for _ in flow_links]
+    return flow_links, capacities, caps
+
+
+GENERATORS = {
+    "uniform": _uniform_instance,
+    "access": _access_instance,
+    "capped": _capped_instance,
+}
+
+# str.hash is process-randomized; seeds must not depend on it.
+_FAMILY_SALT = {"access": 1, "capped": 2, "uniform": 3}
+
+
+def _solve(flow_links, capacities, caps):
+    return maxmin_rates(flow_links, capacities, rate_caps=caps)
+
+
+@pytest.mark.parametrize("family", sorted(GENERATORS))
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_feasible_and_bottlenecked(family, seed):
+    rng = random.Random(_FAMILY_SALT[family] * 100_000 + seed)
+    flow_links, capacities, caps = GENERATORS[family](rng)
+    rates = _solve(flow_links, capacities, caps)
+
+    finite = np.where(np.isfinite(rates), rates, 0.0)
+    loads = link_loads(flow_links, finite, len(capacities))
+    # Feasibility: no link above capacity.
+    assert np.all(loads <= np.asarray(capacities) + _TOL)
+
+    # Bottleneck justification for every flow that crosses links.
+    for index, links in enumerate(flow_links):
+        cap = caps[index]
+        if not links:
+            expected = np.inf if cap is None else cap
+            assert rates[index] == pytest.approx(expected)
+            continue
+        at_cap = cap is not None and rates[index] >= cap - _TOL
+        saturated = any(
+            loads[link] >= capacities[link] - _TOL for link in links
+        )
+        assert at_cap or saturated, (
+            f"flow {index} rate {rates[index]} neither capped nor "
+            f"bottlenecked (links {links})"
+        )
+
+    # The repo's own checker agrees.
+    assert verify_maxmin(flow_links, capacities, rates, rate_caps=caps)
+
+
+@pytest.mark.parametrize("family", sorted(GENERATORS))
+@pytest.mark.parametrize("seed", range(40))
+def test_removing_a_flow_never_lowers_the_fairness_floor(family, seed):
+    """Removal monotonicity, in the form that is actually a theorem.
+
+    Naive per-flow monotonicity ("removing a flow never decreases anyone's
+    rate") is FALSE for multi-link max-min -- see
+    ``test_removal_can_hurt_a_distant_flow`` below for the canonical
+    counterexample.  What does hold is that the *minimum* rate among
+    surviving flows never decreases: the first freeze level is
+    ``min_link capacity / crossing_count``, and removing any flow weakly
+    raises every one of those quotients (caps only enter as smaller fixed
+    freeze points that removal cannot lower).
+    """
+    rng = random.Random(7_000_000 + _FAMILY_SALT[family] * 10_000 + seed)
+    flow_links, capacities, caps = GENERATORS[family](rng)
+    if len(flow_links) < 2:
+        pytest.skip("needs at least two flows")
+    rates = _solve(flow_links, capacities, caps)
+    victim = rng.randrange(len(flow_links))
+    reduced_links = [l for i, l in enumerate(flow_links) if i != victim]
+    reduced_caps = [c for i, c in enumerate(caps) if i != victim]
+    reduced = _solve(reduced_links, capacities, reduced_caps)
+    survivors = [i for i in range(len(flow_links)) if i != victim]
+    old_finite = [
+        rates[i] for i in survivors if np.isfinite(rates[i])
+    ]
+    new_finite = [
+        reduced[ni]
+        for ni, oi in enumerate(survivors)
+        if np.isfinite(rates[oi])
+    ]
+    if old_finite:
+        assert min(new_finite) >= min(old_finite) - 1e-9
+    # Infinite (unconstrained) flows stay infinite.
+    for ni, oi in enumerate(survivors):
+        if np.isinf(rates[oi]):
+            assert np.isinf(reduced[ni])
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_removal_monotone_on_a_single_shared_link(seed):
+    """On one link, removal monotonicity *does* hold per flow."""
+    rng = random.Random(40_000 + seed)
+    n_flows = rng.randint(2, 20)
+    capacity = rng.uniform(1.0, 100.0)
+    caps = [
+        rng.uniform(0.1, 20.0) if rng.random() < 0.5 else None
+        for _ in range(n_flows)
+    ]
+    flow_links = [[0]] * n_flows
+    rates = _solve(flow_links, [capacity], caps)
+    victim = rng.randrange(n_flows)
+    reduced = _solve(
+        flow_links[:-1],
+        [capacity],
+        [c for i, c in enumerate(caps) if i != victim],
+    )
+    survivors = [i for i in range(n_flows) if i != victim]
+    for ni, oi in enumerate(survivors):
+        assert reduced[ni] >= rates[oi] - 1e-9
+
+
+def test_removal_can_hurt_a_distant_flow():
+    """The canonical counterexample, pinned so nobody "fixes" the engine
+    to chase per-flow removal monotonicity.
+
+    Link A (cap 4) carries flows 1,2; link B (cap 10) carries flows 2,3.
+    With all three: A bottlenecks flows 1,2 at 2 each, flow 3 takes the
+    rest of B -> (2, 2, 8).  Remove flow 1: flow 2 rises to A's full
+    capacity 4, leaving flow 3 only 6.  Flow 3 never shared anything with
+    flow 1 yet loses rate -- max-min is a global equilibrium, which is
+    exactly why the vectorized engine must re-solve the *closed component*
+    rather than just the departed flow's links.
+    """
+    rates = _solve([[0], [0, 1], [1]], [4.0, 10.0], [None, None, None])
+    assert rates == pytest.approx([2.0, 2.0, 8.0])
+    reduced = _solve([[0, 1], [1]], [4.0, 10.0], [None, None])
+    assert reduced == pytest.approx([4.0, 6.0])
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_fast_fill_bit_identical_to_reference(seed):
+    rng = random.Random(31_000 + seed)
+    family = rng.choice(sorted(GENERATORS))
+    flow_links, capacities, caps = GENERATORS[family](rng)
+    n_flows = len(flow_links)
+    n_links = len(capacities)
+    caps_arr = np.array(
+        [np.inf if c is None else float(c) for c in caps], dtype=float
+    )
+    link_of, flow_of = _build_entries(flow_links, n_links)
+    reference = _progressive_fill(
+        link_of, flow_of, np.asarray(capacities, dtype=float), n_flows, caps_arr
+    )
+    fast = _progressive_fill_fast(
+        link_of, flow_of, np.asarray(capacities, dtype=float), n_flows, caps_arr
+    )
+    assert np.array_equal(reference, fast)  # exact, including inf pattern
+
+
+def test_rates_scale_with_capacity():
+    """Doubling every capacity doubles every uncapped rate (scale-freeness)."""
+    rng = random.Random(5)
+    flow_links, capacities, _ = _uniform_instance(rng)
+    caps = [None] * len(flow_links)
+    base = _solve(flow_links, capacities, caps)
+    doubled = _solve(flow_links, [2 * c for c in capacities], caps)
+    finite = np.isfinite(base)
+    assert np.allclose(doubled[finite], 2 * base[finite], rtol=1e-9)

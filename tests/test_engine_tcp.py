@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.simulator.engine import EventEngine
-from repro.simulator.tcp import FlowNetwork
+from repro.simulator.tcp import FlowNetwork, VectorizedFlowNetwork
 
 
 class TestEventEngine:
@@ -238,3 +238,39 @@ class TestFlowRateCaps:
         net.start_flow([link], 100.0, rate_cap=3.0)
         net.advance(2.0)
         assert net.link_traffic()["l"] == pytest.approx(6.0)
+
+
+class TestRegressionsFromDifferentialHarness:
+    """Bugs the scalar-vs-vectorized differential harness uncovered."""
+
+    @pytest.mark.parametrize("engine_cls", [FlowNetwork, VectorizedFlowNetwork])
+    def test_uncapped_linkless_flow_pops_immediately(self, engine_cls):
+        """An unconstrained flow (no links, no cap) has infinite rate and
+        must complete without the clock moving.  The scalar engine used to
+        report next_completion == now forever without ever popping the
+        flow, spinning any driving loop.
+        """
+        net = engine_cls()
+        net.add_link("l", 10.0)  # unrelated link; the flow crosses nothing
+        flow = net.start_flow([], 4.0)
+        assert net.next_completion() == pytest.approx(0.0)
+        done = net.pop_finished()
+        assert [f.flow_id for f in done] == [flow.flow_id]
+        assert done[0].remaining_mbit == 0.0
+        assert net.next_completion() is None
+
+    @pytest.mark.parametrize("engine_cls", [FlowNetwork, VectorizedFlowNetwork])
+    def test_linkless_solve_keeps_link_rates_float(self, engine_cls):
+        """A solve over only linkless flows used to rebind the link-rate
+        array to int64 (numpy's bincount returns integers for an empty
+        entry set even with weights), silently truncating every rate
+        written afterwards -- e.g. a 10.12 Mbps allocation stored as 10.
+        """
+        net = engine_cls()
+        link = net.add_link("l", 10.121)
+        net.start_flow([], 1.0, rate_cap=2.0)
+        net.next_completion()  # solve with zero link-crossing entries
+        net.start_flow([link], 50.0)
+        net.next_completion()
+        assert net._link_rates.dtype == np.float64
+        assert net.utilization(link) == pytest.approx(1.0)
