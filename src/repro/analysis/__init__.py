@@ -1,0 +1,36 @@
+"""p4plint: the repository's AST-based invariant checker.
+
+The decomposition only works if every layer honors the invariants the
+code states -- deterministic simulation, lock-guarded shared state,
+bounded telemetry naming, observable degradation, schema-validated
+dispatch.  This package enforces them mechanically: see
+:mod:`repro.analysis.core` for the framework, :mod:`repro.analysis.
+rules` for the catalog, and ``p4p-repro lint`` for the CLI.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.core import (
+    Analyzer,
+    Finding,
+    LintRuleError,
+    Module,
+    Project,
+    Report,
+    Rule,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID, resolve_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintRuleError",
+    "Module",
+    "Project",
+    "Report",
+    "Rule",
+    "RULES_BY_ID",
+    "resolve_rules",
+]

@@ -1,0 +1,125 @@
+"""Finding baselines: accept the past, block the future.
+
+A baseline file records findings that were reviewed and deliberately
+accepted (each with a justification); the linter subtracts them from a
+run so pre-existing accepted findings don't block CI while any *new*
+finding still fails.  Matching is by ``(rule, path, message)`` --
+line-independent, so unrelated edits to a file don't invalidate its
+entries -- with multiset semantics: one entry suppresses one finding.
+
+Workflow: ``p4p-repro lint --write-baseline`` snapshots the current
+findings into the file; edit in a ``justification`` for each entry (the
+self-tests enforce budget limits per rule); commit it.  Entries that no
+longer match anything are reported so the file shrinks as debt is paid.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    justification: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = document.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported baseline version {version!r}")
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                message=item["message"],
+                justification=item.get("justification", ""),
+            )
+            for item in document.get("findings", [])
+        ]
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                )
+                for finding in findings
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        document = {
+            "version": FORMAT_VERSION,
+            "findings": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "message": entry.message,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(self.entries, key=BaselineEntry.fingerprint)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def by_rule(self) -> Dict[str, List[BaselineEntry]]:
+        grouped: Dict[str, List[BaselineEntry]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.rule, []).append(entry)
+        return grouped
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (new, suppressed); also return unused entries.
+
+        Multiset semantics: N identical entries suppress at most N
+        identical findings.
+        """
+        budget = Counter(entry.fingerprint() for entry in self.entries)
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        unused: List[BaselineEntry] = []
+        remaining = dict(budget)
+        for entry in self.entries:
+            key = entry.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                unused.append(entry)
+        return new, suppressed, unused
+
+
+EMPTY_BASELINE = Baseline()

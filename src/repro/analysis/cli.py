@@ -1,0 +1,186 @@
+"""The ``p4p-repro lint`` subcommand: run p4plint over the source tree.
+
+Exit codes: 0 clean (after baseline subtraction), 1 non-baselined
+findings, 2 usage error (unknown rule id, missing root, bad baseline).
+
+The default root is the directory containing the installed ``repro``
+package (i.e. ``src/`` in a checkout); the default baseline is
+``lint_baseline.json`` next to that root's parent (the repo root) or in
+the root itself, whichever exists.  ``--baseline none`` disables
+baseline subtraction entirely -- what the self-tests use to assert the
+tree is genuinely clean for a rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import Analyzer, LintRuleError, Project
+from repro.analysis.rules import ALL_RULES, resolve_rules
+
+
+def default_root() -> Path:
+    """The directory containing the ``repro`` package (``src`` in a checkout)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def default_baseline_path(root: Path) -> Optional[Path]:
+    for candidate in (root.parent / "lint_baseline.json", root / "lint_baseline.json"):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory containing the repro package (default: the installed tree)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file ('none' to disable; default: lint_baseline.json "
+        "at the repo root when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+
+
+def _parse_rule_list(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    return [part for part in text.replace(",", " ").split() if part]
+
+
+def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.id}  {cls.name:<20} {cls.description}", file=out)
+        return 0
+    try:
+        rules = resolve_rules(
+            select=_parse_rule_list(args.select),
+            ignore=_parse_rule_list(args.ignore),
+        )
+    except LintRuleError as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+
+    root = args.root if args.root is not None else default_root()
+    try:
+        project = Project.load(Path(root))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+
+    started = time.perf_counter()
+    report = Analyzer(rules).run(project)
+    elapsed = time.perf_counter() - started
+
+    baseline_path: Optional[Path]
+    if args.baseline == "none":
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = default_baseline_path(Path(root).resolve())
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: --write-baseline needs --baseline FILE", file=err)
+            return 2
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {baseline_path}", file=out
+        )
+        return 0
+
+    if baseline_path is not None and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError) as exc:
+            print(f"error: bad baseline {baseline_path}: {exc}", file=err)
+            return 2
+    else:
+        baseline = Baseline()
+    new, suppressed, unused = baseline.apply(report.findings)
+
+    if args.format == "json":
+        document = {
+            "root": report.root,
+            "rules": report.rules,
+            "elapsed_seconds": round(elapsed, 4),
+            "findings": [finding.to_json() for finding in new],
+            "suppressed": len(suppressed),
+            "baseline_unused": [
+                {"rule": e.rule, "path": e.path, "message": e.message}
+                for e in unused
+            ],
+            "counts": {
+                rule: sum(1 for f in new if f.rule == rule) for rule in report.rules
+            },
+        }
+        print(json.dumps(document, indent=2, sort_keys=True), file=out)
+    else:
+        for finding in new:
+            print(finding.format(), file=out)
+        for entry in unused:
+            print(
+                f"note: unused baseline entry {entry.rule} {entry.path}: "
+                f"{entry.message}",
+                file=out,
+            )
+        print(
+            f"{len(new)} finding(s), {len(suppressed)} baselined, "
+            f"{len(project.modules)} files, {len(rules)} rule(s), "
+            f"{elapsed:.2f}s",
+            file=out,
+        )
+    return 1 if new else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="p4p-repro lint", description="Run the p4plint invariant checker."
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

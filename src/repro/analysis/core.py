@@ -1,0 +1,290 @@
+"""p4plint core: findings, rules, and the analyzer that runs them.
+
+The repository states invariants its layers must honor -- deterministic
+simulation, lock-guarded shared state, bounded telemetry naming -- but
+until now nothing enforced them mechanically.  This module is the spine
+of a small AST-based checker: a :class:`Project` parses every ``.py``
+file under a root into ASTs once, :class:`Rule` subclasses visit those
+ASTs and emit structured :class:`Finding` objects, and the
+:class:`Analyzer` orchestrates rule selection and collection.
+
+Rules never *import* the code under analysis: everything is derived from
+the syntax tree, so the checker is safe to run on broken or half-written
+modules and costs no side effects.  Cross-file rules (e.g. the portal
+method/schema parity check) read other modules' ASTs through the shared
+:class:`Project`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Rule id of the built-in syntax-error pseudo-rule (always enabled).
+PARSE_RULE_ID = "SYN000"
+
+
+class LintRuleError(ValueError):
+    """An unknown rule id was selected or ignored (see ``--select``)."""
+
+    def __init__(self, unknown: Sequence[str], known: Sequence[str]) -> None:
+        self.unknown = tuple(unknown)
+        self.known = tuple(known)
+        names = ", ".join(sorted(self.unknown))
+        super().__init__(
+            f"unknown rule id(s): {names}; known rules: {', '.join(sorted(known))}"
+        )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix path relative to the lint root, e.g. "repro/portal/server.py"
+    line: int
+    col: int
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers drift, (rule, path, message) is
+        stable across unrelated edits."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: Path  # absolute
+    relpath: str  # posix, relative to the lint root
+    source: str
+    tree: Optional[ast.Module]  # None when the file failed to parse
+    parse_error: Optional[str] = None
+
+
+class Project:
+    """Every module under one root, parsed once and shared by all rules."""
+
+    def __init__(self, root: Path, modules: List[Module]) -> None:
+        self.root = root
+        self.modules = modules
+        self._by_relpath = {module.relpath: module for module in modules}
+
+    @classmethod
+    def load(cls, root: Path, package: str = "repro") -> "Project":
+        """Parse ``root/package/**/*.py`` (sorted, deterministic order)."""
+        root = Path(root).resolve()
+        package_dir = root / package
+        if not package_dir.is_dir():
+            raise FileNotFoundError(f"no package directory {package_dir}")
+        modules: List[Module] = []
+        for path in sorted(package_dir.rglob("*.py")):
+            relpath = path.relative_to(root).as_posix()
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree: Optional[ast.Module] = ast.parse(source, filename=str(path))
+                error = None
+            except SyntaxError as exc:
+                tree, error = None, f"{exc.msg} (line {exc.lineno})"
+            modules.append(
+                Module(
+                    path=path,
+                    relpath=relpath,
+                    source=source,
+                    tree=tree,
+                    parse_error=error,
+                )
+            )
+        return cls(root, modules)
+
+    def module(self, relpath: str) -> Optional[Module]:
+        return self._by_relpath.get(relpath)
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    ``scopes`` restricts which relpaths the per-module :meth:`check` sees
+    (prefix match, posix); an empty tuple means the whole tree.  Rules
+    needing cross-file context implement :meth:`finalize`, called once
+    after every module has been visited.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: str = SEVERITY_ERROR
+    scopes: Tuple[str, ...] = ()
+
+    def applies_to(self, module: Module) -> bool:
+        if not self.scopes:
+            return True
+        return any(module.relpath.startswith(scope) for scope in self.scopes)
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self,
+        module: Module,
+        node: ast.AST,
+        message: str,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=severity or self.severity,
+        )
+
+
+@dataclass
+class Report:
+    """The analyzer's output: findings plus what ran."""
+
+    root: str
+    rules: List[str]
+    findings: List[Finding] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+class Analyzer:
+    """Run a set of rules over a project and collect sorted findings."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    def run(self, project: Project) -> Report:
+        findings: List[Finding] = []
+        for module in project.modules:
+            if module.tree is None:
+                findings.append(
+                    Finding(
+                        rule=PARSE_RULE_ID,
+                        path=module.relpath,
+                        line=1,
+                        col=1,
+                        message=f"syntax error: {module.parse_error}",
+                    )
+                )
+                continue
+            for rule in self.rules:
+                if rule.applies_to(module):
+                    findings.extend(rule.check(module, project))
+        for rule in self.rules:
+            findings.extend(rule.finalize(project))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+        return Report(
+            root=str(project.root),
+            rules=[rule.id for rule in self.rules],
+            findings=findings,
+        )
+
+
+# -- shared AST helpers ----------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module, module_name: str) -> Dict[str, str]:
+    """Local names bound to ``module_name`` or its members.
+
+    Returns a map of local identifier -> dotted origin, covering both
+    ``import x.y as z`` and ``from x import y as z`` forms.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module_name or alias.name.startswith(
+                    module_name + "."
+                ):
+                    aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == module_name or node.module.startswith(
+                module_name + "."
+            ):
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    return aliases
+
+
+def iter_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def literal_str_sequence(node: ast.AST) -> Optional[List[str]]:
+    """The element strings of a literal tuple/list of str constants."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: List[str] = []
+    for element in node.elts:
+        value = literal_str(element)
+        if value is None:
+            return None
+        values.append(value)
+    return values
+
+
+def walk_scoped(node: ast.AST) -> Iterable[ast.AST]:
+    """``ast.walk`` that does not descend into nested class/function defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))

@@ -1,0 +1,54 @@
+"""The p4plint rule catalog.
+
+Adding a rule: subclass :class:`repro.analysis.core.Rule` in a module
+here, give it a unique ``id``/``name``/``description``, implement
+``check`` (per module) and/or ``finalize`` (cross-file), and append an
+instance factory to :data:`ALL_RULES`.  Document it in DESIGN.md and add
+a trigger + near-miss fixture pair under ``tests/fixtures/lint/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.analysis.core import LintRuleError, Rule
+from repro.analysis.rules.api_schema import ApiSchemaParityRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.exceptions import ExceptionHygieneRule
+from repro.analysis.rules.locking import LockDisciplineRule
+from repro.analysis.rules.telemetry import TelemetryNamingRule
+
+#: Every registered rule class, in catalog order.
+ALL_RULES: List[Type[Rule]] = [
+    DeterminismRule,
+    LockDisciplineRule,
+    TelemetryNamingRule,
+    ExceptionHygieneRule,
+    ApiSchemaParityRule,
+]
+
+RULES_BY_ID: Dict[str, Type[Rule]] = {cls.id: cls for cls in ALL_RULES}
+
+
+def resolve_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the requested rules.
+
+    ``select`` keeps only the named rules; ``ignore`` drops the named
+    rules from the (possibly selected) set.  Unknown ids raise
+    :class:`LintRuleError` -- a typo must fail loudly, not silently lint
+    nothing.
+    """
+    known = list(RULES_BY_ID)
+    unknown = [
+        rule_id
+        for rule_id in [*(select or ()), *(ignore or ())]
+        if rule_id not in RULES_BY_ID
+    ]
+    if unknown:
+        raise LintRuleError(unknown, known)
+    chosen = list(select) if select else known
+    dropped = set(ignore or ())
+    return [RULES_BY_ID[rule_id]() for rule_id in chosen if rule_id not in dropped]

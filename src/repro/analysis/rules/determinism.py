@@ -1,0 +1,188 @@
+"""DET001: simulation and optimization code must be replayable.
+
+Two classes of nondeterminism are banned:
+
+* **Unseeded randomness** (checked tree-wide): calls to the shared
+  module-level ``random.*`` functions, ``random.Random()`` /
+  ``numpy.random.default_rng()`` with no seed, ``random.SystemRandom``,
+  and legacy ``numpy.random.<fn>`` module calls.  Every RNG must be a
+  seeded instance threaded through the call stack, as
+  :class:`repro.simulator.swarm.SwarmSimulation` does with
+  ``config.rng_seed``.
+* **Wall-clock reads** (checked in simulator/optimization/core/
+  workloads/network paths): calls to ``time.time``/``perf_counter``/
+  ``monotonic`` and ``datetime.now``-family functions.  Time must come
+  from the event engine or an injectable clock so replaying a scenario
+  replays its timestamps.
+
+References to these functions as *default argument values* (the
+``clock: Clock = time.monotonic`` idiom) are allowed -- they are the
+injection points; only actual call sites are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Module, Project, Rule, dotted_name
+
+#: Module-level ``random.*`` functions that use the hidden shared state.
+_RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "random",
+        "uniform",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "vonmisesvariate",
+        "weibullvariate",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+        "binomialvariate",
+        "seed",
+    }
+)
+
+#: Legacy ``numpy.random.*`` module functions (shared global BitGenerator).
+_NUMPY_RANDOM_FUNCS = frozenset(
+    {
+        "rand",
+        "randn",
+        "random",
+        "random_sample",
+        "randint",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "lognormal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "beta",
+        "gamma",
+        "seed",
+    }
+)
+
+_WALL_CLOCK_FUNCS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Paths where wall-clock reads break scenario replay (PAPER §5, §7.1).
+_CLOCK_SCOPES = (
+    "repro/simulator/",
+    "repro/optimization/",
+    "repro/core/",
+    "repro/workloads/",
+    "repro/network/",
+)
+
+
+class DeterminismRule(Rule):
+    id = "DET001"
+    name = "determinism"
+    description = (
+        "No unseeded RNGs anywhere; no wall-clock reads in "
+        "simulator/optimization/core/workloads/network paths."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        assert module.tree is not None
+        clock_scoped = any(
+            module.relpath.startswith(scope) for scope in _CLOCK_SCOPES
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            yield from self._check_random(module, node, name)
+            if clock_scoped:
+                yield from self._check_clock(module, node, name)
+
+    def _check_random(
+        self, module: Module, node: ast.Call, name: str
+    ) -> Iterator[Finding]:
+        parts = name.split(".")
+        if parts[0] in ("random",) and len(parts) == 2:
+            if parts[1] in _RANDOM_MODULE_FUNCS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"module-level random.{parts[1]}() uses the hidden shared "
+                    "RNG; thread a seeded random.Random instance instead",
+                )
+            elif parts[1] == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "random.Random() without a seed is entropy-seeded and "
+                    "breaks replay; pass an explicit seed",
+                )
+            elif parts[1] == "SystemRandom":
+                yield self.finding(
+                    module,
+                    node,
+                    "random.SystemRandom is nondeterministic by design; use a "
+                    "seeded random.Random",
+                )
+        # numpy.random via any alias spelled *.random.<fn> (np.random.rand)
+        # or *.random.default_rng().
+        if len(parts) >= 3 and parts[-2] == "random":
+            fn = parts[-1]
+            if fn in _NUMPY_RANDOM_FUNCS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy numpy.random.{fn}() uses the global BitGenerator; "
+                    "use numpy.random.default_rng(seed)",
+                )
+            elif fn == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "numpy.random.default_rng() without a seed is "
+                    "entropy-seeded and breaks replay; pass an explicit seed",
+                )
+
+    def _check_clock(
+        self, module: Module, node: ast.Call, name: str
+    ) -> Iterator[Finding]:
+        if name in _WALL_CLOCK_FUNCS:
+            yield self.finding(
+                module,
+                node,
+                f"wall-clock call {name}() in a replayable path; use the "
+                "event engine's clock or an injected Clock",
+            )

@@ -1,0 +1,82 @@
+"""EXC001: no blind except-and-swallow on dispatch/resilience paths.
+
+Catching ``Exception`` (or everything) is sometimes right -- the portal
+must answer a structured error frame rather than die, the swarm must
+survive a failing tracker hook.  What is never right is doing so
+*silently*: a broad handler must re-raise, count the failure into some
+telemetry/stat, or log it, so degradation is observable (the whole point
+of the resilience layer).
+
+A handler is compliant when its body (including nested statements)
+contains any of:
+
+* a ``raise`` statement;
+* a logging call (``logger.warning(...)``, ``logging.exception(...)``,
+  or any ``.log/.debug/.info/.warning/.error/.exception/.critical``
+  attribute call);
+* a counter update: an ``x += ...`` augmented assignment or a ``.inc()``
+  call (registry counters).
+
+Narrow handlers (``except OSError:``) are out of scope -- the rule only
+fires on ``except:``, ``except Exception:``, and ``except
+BaseException:`` (alone or inside a tuple).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Module, Project, Rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad_name(elt) for elt in node.elts)
+    return _is_broad_name(node)
+
+
+def _is_broad_name(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in _BROAD
+
+
+def _is_compliant(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _LOG_METHODS or node.func.attr == "inc":
+                return True
+    return False
+
+
+class ExceptionHygieneRule(Rule):
+    id = "EXC001"
+    name = "exception-hygiene"
+    description = (
+        "Broad except handlers must re-raise, count, or log -- never "
+        "swallow silently."
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+                if not _is_compliant(node):
+                    caught = "bare except" if node.type is None else "except Exception"
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{caught} swallows the error silently; re-raise, "
+                        "count it into telemetry, or log it",
+                    )

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.pdistance import PDistanceMap
-from repro.optimization.linprog import InfeasibleError, LinearProgram
+from repro.optimization.linprog import LinearProgram
 
 PidPair = Tuple[str, str]
 

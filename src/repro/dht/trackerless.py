@@ -10,6 +10,7 @@ discovered candidates.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Sequence
@@ -23,6 +24,8 @@ from repro.apptracker.selection import (
 from repro.core.itracker import ITracker
 from repro.core.pdistance import PDistanceMap
 from repro.dht.kademlia import DhtNetwork, DhtNode, infohash
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -91,6 +94,9 @@ class TrackerlessSelector(PeerSelector):
     upper_inter: float = 0.8
     gamma: float = 0.5
     name: str = "trackerless-p4p"
+    #: Portal-fetch failures that degraded to random selection -- the
+    #: trackerless analogue of ResilienceCounters.native_fallbacks.
+    fallbacks: int = 0
 
     def select(
         self,
@@ -116,7 +122,18 @@ class TrackerlessSelector(PeerSelector):
         try:
             pids = sorted({peer.pid for peer in pool} | {client.pid})
             view = self.fetch_view(client.as_number, pids)
-        except Exception:
+        except Exception as exc:
+            # Degrading to random selection is the designed fallback
+            # (iTrackers are off the critical path), but never silently:
+            # count and log so operators can see the portal is unreachable.
+            self.fallbacks += 1
+            logger.warning(
+                "p-distance fetch for AS%s failed (%s: %s); falling back "
+                "to random selection",
+                client.as_number,
+                type(exc).__name__,
+                exc,
+            )
             return RandomSelection().select(client, pool, m, rng)
         staged = P4PSelection(
             pdistances={client.as_number: view},

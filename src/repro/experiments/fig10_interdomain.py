@@ -27,7 +27,6 @@ from repro.network.library import abilene
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
 from repro.network.traffic import (
-    INTERVAL_SECONDS,
     DiurnalProfile,
     TrafficMatrix,
     apply_background,

@@ -18,7 +18,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.metrics.completion import completion_cdf, excess_percent, improvement_percent
 from repro.metrics.localization import localization_ratio
 from repro.simulator.fieldtest import (
-    EXTERNAL_PID,
     FieldTest,
     FieldTestConfig,
     FieldTestReport,

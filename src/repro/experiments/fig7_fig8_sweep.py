@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.comparison import (
     ComparisonConfig,
-    SchemeOutcome,
     run_comparison,
 )
 from repro.metrics.bottleneck import utilization_timeline

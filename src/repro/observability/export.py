@@ -15,9 +15,6 @@ import math
 from typing import Any, Dict, List, Mapping, Tuple
 
 from repro.observability.registry import (
-    Counter,
-    Gauge,
-    Histogram,
     HistogramChild,
     MetricsRegistry,
 )

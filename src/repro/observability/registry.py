@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 Clock = Callable[[], float]
 
@@ -85,7 +85,10 @@ class CounterChild(_Child):
 
     @property
     def value(self) -> float:
-        return self._value
+        # Scrape path only; taking the lock keeps the read consistent
+        # with concurrent inc() without measurable hot-path cost.
+        with self._lock:
+            return self._value
 
 
 class GaugeChild(_Child):
@@ -111,7 +114,8 @@ class GaugeChild(_Child):
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class HistogramChild(_Child):
@@ -140,11 +144,13 @@ class HistogramChild(_Child):
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     def bucket_counts(self) -> List[Tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs ending with +Inf."""

@@ -92,32 +92,63 @@ class RegistryResilienceCounters:
         "native_fallbacks",
     )
 
-    _HELP = {
-        "retries": "Transport-failure retries issued by resilient clients.",
-        "breaker_trips": "Circuit breaker CLOSED->OPEN transitions.",
-        "breaker_probes": "HALF_OPEN probe attempts.",
-        "stale_serves": "Views served stale while the portal was unreachable.",
-        "validation_rejections": "Fetched views rejected by validate_view.",
-        "unavailable": "Fetches that found no fresh or usable stale view.",
-        "reconnects": "New portal connections established.",
-        "native_fallbacks": "Selections degraded to native for lack of guidance.",
-    }
-
     def __init__(
         self,
         registry: MetricsRegistry,
         as_number: Optional[int] = None,
     ) -> None:
         labelnames = ("as_number",) if as_number is not None else ()
-        gauges = {}
-        for name in self.FIELDS:
-            gauge = registry.gauge(
-                f"p4p_resilience_{name}", self._HELP[name], labelnames
-            )
-            if as_number is not None:
-                gauges[name] = gauge.labels(as_number=as_number)
-            else:
-                gauges[name] = gauge.labels()
+        # One literal registration per gauge: p4plint's TEL001 audits
+        # metric names statically, so no f-string name construction here.
+        instruments = {
+            "retries": registry.gauge(
+                "p4p_resilience_retries",
+                "Transport-failure retries issued by resilient clients.",
+                labelnames,
+            ),
+            "breaker_trips": registry.gauge(
+                "p4p_resilience_breaker_trips",
+                "Circuit breaker CLOSED->OPEN transitions.",
+                labelnames,
+            ),
+            "breaker_probes": registry.gauge(
+                "p4p_resilience_breaker_probes",
+                "HALF_OPEN probe attempts.",
+                labelnames,
+            ),
+            "stale_serves": registry.gauge(
+                "p4p_resilience_stale_serves",
+                "Views served stale while the portal was unreachable.",
+                labelnames,
+            ),
+            "validation_rejections": registry.gauge(
+                "p4p_resilience_validation_rejections",
+                "Fetched views rejected by validate_view.",
+                labelnames,
+            ),
+            "unavailable": registry.gauge(
+                "p4p_resilience_unavailable",
+                "Fetches that found no fresh or usable stale view.",
+                labelnames,
+            ),
+            "reconnects": registry.gauge(
+                "p4p_resilience_reconnects",
+                "New portal connections established.",
+                labelnames,
+            ),
+            "native_fallbacks": registry.gauge(
+                "p4p_resilience_native_fallbacks",
+                "Selections degraded to native for lack of guidance.",
+                labelnames,
+            ),
+        }
+        if as_number is not None:
+            gauges = {
+                name: gauge.labels(as_number=as_number)
+                for name, gauge in instruments.items()
+            }
+        else:
+            gauges = {name: gauge.labels() for name, gauge in instruments.items()}
         object.__setattr__(self, "_gauges", gauges)
 
     def __getattr__(self, name: str) -> Any:

@@ -21,7 +21,7 @@ import socket
 import struct
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.portal import protocol
@@ -73,7 +73,8 @@ class FaultSchedule:
 
     @property
     def requests_seen(self) -> int:
-        return self._counter
+        with self._lock:
+            return self._counter
 
     def next_fault(self) -> Fault:
         with self._lock:

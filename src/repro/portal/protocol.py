@@ -101,6 +101,74 @@ def pdistance_from_wire(document: Dict[str, Any]) -> PDistanceMap:
     return PDistanceMap(pids=pids, distances=distances)
 
 
+# -- method schemas -------------------------------------------------------------
+
+#: Wire schema of every dispatchable portal method: parameter name ->
+#: ``(required, JSON type)``.  This is the single source of truth the
+#: server validates requests against (:func:`validate_params`) and that
+#: p4plint's API001 rule checks against ``PortalServer``'s ``_do_*``
+#: handlers -- adding a handler without a schema entry (or orphaning an
+#: entry) is a lint failure, not a latent bug.
+METHOD_SCHEMAS: Dict[str, Dict[str, Tuple[bool, str]]] = {
+    "get_pdistances": {"pids": (False, "array")},
+    "get_policy": {},
+    "get_capabilities": {
+        "requester": (True, "string"),
+        "kind": (False, "string"),
+        "pid": (False, "string"),
+        "content_id": (False, "string"),
+    },
+    "lookup_pid": {"ip": (True, "string")},
+    "get_version": {},
+    "get_metrics": {"format": (False, "string")},
+    "get_alto_costmap": {
+        "mode": (False, "string"),
+        "pids": (False, "array"),
+    },
+    "get_alto_networkmap": {},
+}
+
+_JSON_TYPES: Dict[str, tuple] = {
+    "string": (str,),
+    "array": (list,),
+    "object": (dict,),
+    "number": (int, float),
+    "integer": (int,),
+    "boolean": (bool,),
+}
+
+
+def validate_params(method: str, params: Dict[str, Any]) -> None:
+    """Check ``params`` against :data:`METHOD_SCHEMAS`.
+
+    Raises :class:`ValueError` on an unknown parameter, a missing
+    required one, or a type mismatch.  Unknown *methods* pass through --
+    dispatch handles those with its own error.  ``None`` is accepted for
+    optional parameters (clients send explicit nulls).
+    """
+    schema = METHOD_SCHEMAS.get(method)
+    if schema is None:
+        return
+    for name in params:
+        if name not in schema:
+            raise ValueError(f"unexpected parameter {name!r} for {method}")
+    for name, (required, type_name) in schema.items():
+        value = params.get(name)
+        if value is None:
+            if required:
+                raise ValueError(f"{name} is required")
+            continue
+        expected = _JSON_TYPES[type_name]
+        if isinstance(value, bool) and bool not in expected:
+            raise ValueError(
+                f"parameter {name!r} for {method} must be {type_name}"
+            )
+        if not isinstance(value, expected):
+            raise ValueError(
+                f"parameter {name!r} for {method} must be {type_name}"
+            )
+
+
 def request(method: str, **params: Any) -> Dict[str, Any]:
     return {"method": method, "params": params}
 

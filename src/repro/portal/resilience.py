@@ -29,7 +29,7 @@ import enum
 import math
 import random
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.pdistance import PDistanceMap
@@ -349,7 +349,10 @@ class ResilientPortalClient:
         self.stale_ttl = stale_ttl
         self.validation = validation or ValidationPolicy()
         self._sleep: SleepFn = sleep if sleep is not None else time.sleep
-        self._rng = rng or random.Random()
+        # Deterministic by default (replayable simulations, DET001): seed
+        # from the portal address, so each client's jitter stream is
+        # reproducible yet decorrelated across different portals.
+        self._rng = rng if rng is not None else random.Random(f"p4p:{host}:{port}")
         self.counters = counters if counters is not None else _NullCounters()
         self._client_factory = client_factory
         self._client: Optional[PortalClient] = None

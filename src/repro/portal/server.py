@@ -27,7 +27,6 @@ price-update convergence alongside the request-path metrics.
 from __future__ import annotations
 
 import logging
-import socket
 import socketserver
 import threading
 from typing import Any, Dict, Optional, Tuple
@@ -173,6 +172,9 @@ class PortalServer:
         try:
             if handler is None:
                 raise PortalRequestError(f"unknown method {method!r}")
+            # Schema gate: unknown/missing/ill-typed params are rejected
+            # before the handler runs (ValueError -> request error below).
+            protocol.validate_params(method, params)
             return protocol.ok(handler(params))
         except (PortalRequestError, AccessDeniedError, ValueError) as exc:
             self._errors.labels(method=label, kind="request").inc()

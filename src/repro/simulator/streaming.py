@@ -22,7 +22,7 @@ from repro.apptracker.selection import PeerInfo, PeerSelector
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
 from repro.simulator.engine import EventEngine
-from repro.simulator.tcp import Flow, FlowNetwork, make_flow_network, resolve_engine
+from repro.simulator.tcp import Flow, make_flow_network, resolve_engine
 
 LinkKey = Tuple[str, str]
 

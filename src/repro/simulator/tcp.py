@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -334,8 +334,13 @@ class VectorizedFlowNetwork(FlowNetwork):
         telemetry: Optional[object] = None,
         dirty_flow_floor: int = 64,
         dirty_flow_fraction: float = 0.125,
+        perf_clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         super().__init__()
+        # Solve-latency measurement is telemetry-only, but even that read
+        # must be injectable (DET001): a replayed scenario with a fake
+        # clock reproduces its exported histograms exactly.
+        self._perf_clock = perf_clock
         if dirty_flow_floor < 1:
             raise ValueError("dirty_flow_floor must be >= 1")
         if not 0.0 <= dirty_flow_fraction <= 1.0:
@@ -574,7 +579,7 @@ class VectorizedFlowNetwork(FlowNetwork):
     def _ensure_rates(self) -> None:
         if not self._full_dirty and not self._dirty_links:
             return
-        started = time.perf_counter()
+        started = self._perf_clock()
         component = None
         if not self._full_dirty and (
             self._full_streak < 8 or self.stats.solves % 32 == 0
@@ -603,7 +608,7 @@ class VectorizedFlowNetwork(FlowNetwork):
         if self._m_solves is not None:
             self._m_solves.labels(engine="vectorized", mode=mode).inc()
             self._m_dirty.observe(dirty)
-            self._m_latency.observe(time.perf_counter() - started)
+            self._m_latency.observe(self._perf_clock() - started)
 
     def _collect_component(self) -> Optional[Tuple[Set[int], Set[int]]]:
         """Expand dirty links to their closed component, or None if too big."""

@@ -10,12 +10,17 @@ Examples::
     python -m repro.tools.cli fig6 --peers 120 --runs 2
     python -m repro.tools.cli fieldtest --clients 600
     python -m repro.tools.cli telemetry --portal 127.0.0.1:6671
+    python -m repro.tools.cli lint --format json
     python -m repro.tools.cli list
 
 ``telemetry`` is the operator-facing scrape: it calls ``get_metrics`` on
 one or more live portals and renders the text dashboard (request rates,
 latency percentiles, price-update convergence, resilience counters), or
 dumps the raw Prometheus/JSON exposition for piping elsewhere.
+
+``lint`` runs p4plint (:mod:`repro.analysis`), the repo's AST-based
+invariant checker, over the source tree; it exits non-zero on any
+non-baselined finding, which is how CI gates on the invariants.
 """
 
 from __future__ import annotations
@@ -176,6 +181,12 @@ def _run_telemetry(args: argparse.Namespace, out) -> None:
         print(json.dumps(documents, sort_keys=True, indent=2), file=out)
 
 
+def _run_lint(args: argparse.Namespace, out) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args, out=out)
+
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "table1": _run_table1,
     "fig6": _run_fig6,
@@ -187,6 +198,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "sec8": _run_sec8,
     "ablations": _run_ablations,
     "telemetry": _run_telemetry,
+    "lint": _run_lint,
 }
 
 
@@ -231,6 +243,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="dashboard",
     )
     telemetry.add_argument("--timeout", type=float, default=5.0)
+    lint = sub.add_parser(
+        "lint", help="run p4plint, the AST-based invariant checker"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -241,8 +259,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         for name in _EXPERIMENTS:
             print(name, file=out)
         return 0
-    _EXPERIMENTS[args.experiment](args, out)
-    return 0
+    status = _EXPERIMENTS[args.experiment](args, out)
+    return int(status) if status is not None else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,29 @@
+"""API001 near-miss: handlers and schema table in exact parity."""
+
+METHOD_SCHEMAS = {
+    "get_thing": {},
+    "get_other": {"name": (True, "string")},
+}
+
+
+class Server:
+    def dispatch(self, method: str, params: dict) -> object:
+        handler = getattr(self, f"_do_{method}")
+        return handler(params)
+
+    def _do_get_thing(self, params: dict) -> dict:
+        return {"thing": 1}
+
+    def _do_get_other(self, params: dict) -> dict:
+        return {"other": 2}
+
+    def _helper(self, params: dict) -> dict:
+        """Not a _do_ handler; never checked."""
+        return params
+
+
+class NotADispatcher:
+    """Has a _do_ method but no dispatch(): out of scope."""
+
+    def _do_cleanup(self) -> None:
+        return None

@@ -1,0 +1,18 @@
+"""API001 trigger: dispatch handlers out of parity with METHOD_SCHEMAS."""
+
+METHOD_SCHEMAS = {
+    "get_thing": {},
+    "get_orphan": {},  # schema entry with no _do_get_orphan handler
+}
+
+
+class Server:
+    def dispatch(self, method: str, params: dict) -> object:
+        handler = getattr(self, f"_do_{method}")
+        return handler(params)
+
+    def _do_get_thing(self, params: dict) -> dict:
+        return {"thing": 1}
+
+    def _do_get_other(self, params: dict) -> dict:  # no schema entry
+        return {"other": 2}

@@ -1,0 +1,33 @@
+"""DET001 near-miss: deterministic idioms the rule must accept.
+
+Seeded generators, injectable clocks referenced (not called) as
+defaults, and explicit rng threading.
+"""
+
+import random
+import time
+from typing import Callable
+
+import numpy as np
+
+
+def seeded_instance(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def string_seeded(host: str, port: int) -> random.Random:
+    return random.Random(f"p4p:{host}:{port}")
+
+
+def seeded_numpy(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def injectable_clock(clock: Callable[[], float] = time.monotonic) -> float:
+    # Referencing time.monotonic as a default is the injection idiom;
+    # only *calling* it inside simulation code is a finding.
+    return clock()
+
+
+def threaded_rng(rng: random.Random) -> float:
+    return rng.uniform(0.0, 1.0)

@@ -1,0 +1,31 @@
+"""DET001 trigger: every construct the determinism rule must flag.
+
+Analyzed with a relpath under ``repro/simulator/`` so the wall-clock
+checks are in scope.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def module_level_rng() -> float:
+    return random.random()  # shared unseeded module RNG
+
+
+def unseeded_instance() -> random.Random:
+    return random.Random()  # unseeded: seeds from OS entropy
+
+
+def wall_clock_stamp() -> float:
+    return time.time()  # wall clock in a simulation path
+
+
+def wall_clock_datetime() -> datetime:
+    return datetime.now()  # wall clock via datetime
+
+
+def unseeded_numpy() -> np.random.Generator:
+    return np.random.default_rng()  # unseeded generator

@@ -1,0 +1,37 @@
+"""EXC001 near-miss: broad handlers that surface the failure, and
+narrow handlers that may stay quiet."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+class Worker:
+    def __init__(self) -> None:
+        self.failures = 0
+
+    def logged(self, op):
+        try:
+            return op()
+        except Exception as exc:
+            logger.warning("operation failed: %s", exc)
+            return None
+
+    def counted(self, op):
+        try:
+            return op()
+        except Exception:
+            self.failures += 1
+            return None
+
+    def reraised(self, op):
+        try:
+            return op()
+        except Exception as exc:
+            raise RuntimeError("wrapped") from exc
+
+    def narrow(self, mapping, key):
+        try:
+            return mapping[key]
+        except KeyError:
+            return None  # narrow handlers may swallow

@@ -1,0 +1,15 @@
+"""EXC001 trigger: broad exception handlers that swallow silently."""
+
+
+def swallow(op):
+    try:
+        return op()
+    except Exception:
+        return None  # silent: no re-raise, no log, no counter
+
+
+def swallow_bare(op):
+    try:
+        return op()
+    except:  # noqa: E722 -- deliberately bare for the fixture
+        pass

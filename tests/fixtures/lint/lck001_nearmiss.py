@@ -1,0 +1,30 @@
+"""LCK001 near-miss: disciplined locking plus lock-free classes."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self) -> None:
+        with self._lock:
+            self._value += 1
+
+    def peek(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class PlainBag:
+    """No lock anywhere: nothing is inferred as guarded."""
+
+    def __init__(self) -> None:
+        self.items = []
+
+    def add(self, item: object) -> None:
+        self.items.append(item)
+
+    def size(self) -> int:
+        return len(self.items)

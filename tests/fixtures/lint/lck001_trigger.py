@@ -1,0 +1,19 @@
+"""LCK001 trigger: an attribute written under the lock but read bare."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0  # constructor writes are exempt
+
+    def increment(self) -> None:
+        with self._lock:
+            self._value += 1
+
+    def peek(self) -> int:
+        return self._value  # unguarded read of a guarded attribute
+
+    def store(self, value: int) -> None:
+        self._value = value  # unguarded write of a guarded attribute

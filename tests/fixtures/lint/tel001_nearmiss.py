@@ -1,0 +1,17 @@
+"""TEL001 near-miss: compliant registrations, including the
+constant-propagated conditional label tuple."""
+
+
+def instrument(registry, per_as: bool):
+    registry.counter("p4p_requests_total", "literal counter", ("method",))
+    registry.gauge("p4p_queue_depth", "literal gauge", ())
+    labelnames = ("as_number",) if per_as else ()
+    registry.histogram("p4p_latency_seconds", "resolved labels", labelnames)
+    # Calls on receivers that are not a registry are out of scope.
+    builder.counter("whatever goes", "not a registry", object())
+
+
+class builder:
+    @staticmethod
+    def counter(*args: object) -> None:
+        return None

@@ -1,0 +1,14 @@
+"""TEL001 trigger: every telemetry-hygiene violation class."""
+
+
+def instrument(registry, kind: str):
+    registry.counter(f"p4p_{kind}_total", "dynamic name", ())
+    registry.counter("requests_total", "missing p4p_ prefix", ())
+    registry.counter("p4p_requests", "counter without _total", ())
+    registry.gauge("p4p_queue_depth", "free-form label", ("client_ip",))
+    labelnames = dynamic_labels()
+    registry.histogram("p4p_latency_seconds", "opaque labels", labelnames)
+
+
+def dynamic_labels():
+    return ("method",)

@@ -519,3 +519,49 @@ class TestDiscovery:
         clear_registry()
         with pytest.raises(DiscoveryError, match="nowhere.example"):
             discover_itracker("nowhere.example")
+
+
+class TestWireSchemaValidation:
+    """METHOD_SCHEMAS doubles as the dispatch request validator; the
+    static API001 rule keeps it in parity with the _do_* handlers."""
+
+    def test_every_dispatch_method_has_a_schema(self, itracker):
+        with PortalServer(itracker) as server:
+            handlers = {
+                name[len("_do_"):]
+                for name in dir(server)
+                if name.startswith("_do_")
+            }
+        assert handlers == set(protocol.METHOD_SCHEMAS)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unexpected parameter"):
+            protocol.validate_params("get_pdistances", {"pidz": []})
+
+    def test_missing_required_parameter_rejected(self):
+        with pytest.raises(ValueError, match="ip is required"):
+            protocol.validate_params("lookup_pid", {})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError, match="ip"):
+            protocol.validate_params("lookup_pid", {"ip": 42})
+        with pytest.raises(ValueError, match="pids"):
+            protocol.validate_params("get_pdistances", {"pids": "NYCM"})
+
+    def test_valid_and_unknown_methods_pass(self):
+        protocol.validate_params("lookup_pid", {"ip": "10.0.0.9"})
+        protocol.validate_params("get_pdistances", {"pids": ["NYCM"]})
+        # Unknown methods are the dispatcher's problem, not the schema's.
+        protocol.validate_params("no_such_method", {"anything": 1})
+
+    def test_server_rejects_unknown_parameter_end_to_end(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            with pytest.raises(PortalClientError, match="unexpected parameter"):
+                client._call("get_pdistances", pidz=["NYCM"])
+
+    def test_server_rejects_wrong_type_end_to_end(self, portal):
+        host, port = portal.address
+        with PortalClient(host, port) as client:
+            with pytest.raises(PortalClientError, match="ip"):
+                client._call("lookup_pid", ip=42)

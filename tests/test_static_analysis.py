@@ -1,0 +1,296 @@
+"""p4plint self-tests: the tree gate, per-rule fixtures, baseline, CLI.
+
+Three layers:
+
+* **tree gate** -- running every rule over ``src/repro`` must produce
+  zero findings beyond ``lint_baseline.json``, and the baseline itself
+  must respect the ratchet policy (strict rules empty, discipline rules
+  small and justified);
+* **fixture self-tests** -- each rule has a trigger fixture it must
+  flag and a near-miss fixture it must pass, so a rule that silently
+  stops matching fails its own test rather than quietly passing the
+  tree;
+* **plumbing** -- baseline round-trip, CLI exit codes and JSON output,
+  and :class:`LintRuleError` for unknown rule ids.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    Analyzer,
+    Baseline,
+    LintRuleError,
+    Module,
+    Project,
+    resolve_rules,
+)
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.cli import default_baseline_path, default_root
+from repro.tools.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+BASELINE_PATH = REPO_ROOT / "lint_baseline.json"
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+#: Rules whose baseline must be empty (ISSUE acceptance criteria).
+STRICT_RULES = ("DET001", "TEL001", "EXC001")
+#: Rules allowed a small justified baseline.
+DISCIPLINE_RULES = ("LCK001", "API001")
+
+
+def load_fixture_project(filename: str, relpath: str) -> Project:
+    """Build a one-module project from a fixture, mapping its relpath.
+
+    The mapped relpath controls rule scoping (e.g. DET001's wall-clock
+    check only applies under ``repro/simulator/`` and friends).
+    """
+    path = FIXTURES / filename
+    source = path.read_text(encoding="utf-8")
+    module = Module(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+    )
+    return Project(root=FIXTURES, modules=[module])
+
+
+def run_rule(rule_id: str, filename: str, relpath: str):
+    project = load_fixture_project(filename, relpath)
+    report = Analyzer(resolve_rules(select=[rule_id])).run(project)
+    return report.findings
+
+
+# -- the tree gate ---------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tree_report():
+    project = Project.load(SRC_ROOT)
+    return Analyzer([rule_cls() for rule_cls in ALL_RULES]).run(project)
+
+
+def test_tree_has_no_nonbaselined_findings(tree_report):
+    baseline = Baseline.load(BASELINE_PATH)
+    new, _suppressed, unused = baseline.apply(tree_report.findings)
+    assert new == [], "non-baselined findings:\n" + "\n".join(
+        finding.format() for finding in new
+    )
+    assert unused == [], "stale baseline entries:\n" + "\n".join(
+        f"{entry.rule} {entry.path}: {entry.message}" for entry in unused
+    )
+
+
+def test_baseline_ratchet_policy():
+    baseline = Baseline.load(BASELINE_PATH)
+    by_rule = baseline.by_rule()
+    for rule_id in STRICT_RULES:
+        assert not by_rule.get(rule_id), (
+            f"{rule_id} must keep an empty baseline; fix the code instead"
+        )
+    for rule_id, entries in by_rule.items():
+        assert rule_id in STRICT_RULES + DISCIPLINE_RULES
+        assert len(entries) <= 3, f"{rule_id} baseline exceeds 3 entries"
+        for entry in entries:
+            assert entry.justification.strip(), (
+                f"baseline entry for {entry.rule} at {entry.path} "
+                "needs a justification"
+            )
+
+
+def test_tree_lint_is_fast(tree_report):
+    """The full-tree run must stay well under the 5 s CI budget."""
+    project = Project.load(SRC_ROOT)
+    started = time.perf_counter()
+    Analyzer([rule_cls() for rule_cls in ALL_RULES]).run(project)
+    assert time.perf_counter() - started < 5.0
+
+
+def test_syntax_errors_surface_as_findings(tmp_path):
+    package = tmp_path / "repro"
+    package.mkdir()
+    (package / "broken.py").write_text("def oops(:\n", encoding="utf-8")
+    report = Analyzer([rule_cls() for rule_cls in ALL_RULES]).run(
+        Project.load(tmp_path)
+    )
+    assert [finding.rule for finding in report.findings] == ["SYN000"]
+
+
+# -- per-rule fixture self-tests ------------------------------------------
+
+# (rule id, trigger fixture, near-miss fixture, mapped relpath,
+#  minimum trigger findings)
+FIXTURE_CASES = [
+    ("DET001", "det001_trigger.py", "det001_nearmiss.py",
+     "repro/simulator/fixture.py", 5),
+    ("LCK001", "lck001_trigger.py", "lck001_nearmiss.py",
+     "repro/observability/fixture.py", 2),
+    ("TEL001", "tel001_trigger.py", "tel001_nearmiss.py",
+     "repro/observability/fixture.py", 5),
+    ("EXC001", "exc001_trigger.py", "exc001_nearmiss.py",
+     "repro/portal/fixture.py", 2),
+    ("API001", "api001_trigger.py", "api001_nearmiss.py",
+     "repro/portal/fixture.py", 2),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,trigger,nearmiss,relpath,minimum",
+    FIXTURE_CASES,
+    ids=[case[0] for case in FIXTURE_CASES],
+)
+def test_rule_flags_trigger_fixture(rule_id, trigger, nearmiss, relpath, minimum):
+    findings = run_rule(rule_id, trigger, relpath)
+    assert len(findings) >= minimum, [f.format() for f in findings]
+    assert {finding.rule for finding in findings} == {rule_id}
+
+
+@pytest.mark.parametrize(
+    "rule_id,trigger,nearmiss,relpath,minimum",
+    FIXTURE_CASES,
+    ids=[case[0] for case in FIXTURE_CASES],
+)
+def test_rule_passes_nearmiss_fixture(rule_id, trigger, nearmiss, relpath, minimum):
+    findings = run_rule(rule_id, nearmiss, relpath)
+    assert findings == [], [f.format() for f in findings]
+
+
+def test_det001_wall_clock_scoped_to_simulation_paths():
+    """The same source outside the clock scopes only reports RNG misuse."""
+    in_scope = run_rule("DET001", "det001_trigger.py", "repro/simulator/x.py")
+    out_of_scope = run_rule("DET001", "det001_trigger.py", "repro/tools/x.py")
+    in_messages = {finding.message for finding in in_scope}
+    out_messages = {finding.message for finding in out_of_scope}
+    clock_messages = in_messages - out_messages
+    assert clock_messages, "expected wall-clock findings in simulator scope"
+    assert all("wall-clock" in message for message in clock_messages)
+    assert len(out_of_scope) < len(in_scope)
+
+
+# -- baseline round-trip ---------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = run_rule("LCK001", "lck001_trigger.py", "repro/x/fixture.py")
+    assert findings
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    reloaded = Baseline.load(path)
+    new, suppressed, unused = reloaded.apply(findings)
+    assert new == [] and unused == []
+    assert len(suppressed) == len(findings)
+    # A finding that was not baselined still fails.
+    extra = run_rule("EXC001", "exc001_trigger.py", "repro/x/fixture.py")
+    new, _suppressed, _unused = reloaded.apply(findings + extra)
+    assert new == extra
+
+
+def test_baseline_multiset_semantics(tmp_path):
+    findings = run_rule("LCK001", "lck001_trigger.py", "repro/x/fixture.py")
+    one_entry = Baseline(
+        entries=[
+            BaselineEntry(
+                rule=findings[0].rule,
+                path=findings[0].path,
+                message=findings[0].message,
+            )
+        ]
+    )
+    new, suppressed, _unused = one_entry.apply(findings)
+    assert len(suppressed) == 1
+    assert len(new) == len(findings) - 1
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def run_cli(*argv: str):
+    out = io.StringIO()
+    status = cli_main(["lint", *argv], out=out)
+    return status, out.getvalue()
+
+
+def test_cli_defaults_resolve_repo_layout():
+    assert default_root() == SRC_ROOT
+    assert default_baseline_path(SRC_ROOT) == BASELINE_PATH
+
+
+def test_cli_exits_zero_with_baseline():
+    status, text = run_cli()
+    assert status == 0, text
+    assert "0 finding(s)" in text
+
+
+def test_cli_exits_nonzero_without_baseline():
+    # The checked-in baseline suppresses at least one finding, so
+    # disabling it must flip the exit code.
+    status, text = run_cli("--baseline", "none")
+    assert status == 1
+    assert "LCK001" in text
+
+
+def test_cli_json_output():
+    status, text = run_cli("--format", "json")
+    assert status == 0
+    document = json.loads(text)
+    assert set(document["counts"]) == {rule.id for rule in ALL_RULES}
+    assert document["findings"] == []
+    assert document["suppressed"] >= 1  # the checked-in LCK001 entry
+    assert document["baseline_unused"] == []
+    assert document["elapsed_seconds"] < 5.0
+
+
+def test_cli_select_restricts_rules():
+    status, text = run_cli("--format", "json", "--select", "DET001",
+                           "--baseline", "none")
+    assert status == 0
+    document = json.loads(text)
+    assert set(document["counts"]) == {"DET001"}
+
+
+def test_cli_unknown_rule_is_usage_error():
+    status, _text = run_cli("--select", "NOPE001")
+    assert status == 2
+
+
+def test_cli_write_baseline_round_trip(tmp_path):
+    path = tmp_path / "generated_baseline.json"
+    status, text = run_cli("--baseline", str(path), "--write-baseline")
+    assert status == 0 and path.exists(), text
+    status, text = run_cli("--baseline", str(path))
+    assert status == 0, text
+    # --write-baseline with the baseline disabled is a usage error.
+    status, _text = run_cli("--baseline", "none", "--write-baseline")
+    assert status == 2
+
+
+def test_resolve_rules_raises_named_error():
+    with pytest.raises(LintRuleError) as excinfo:
+        resolve_rules(select=["DET001", "BOGUS9"])
+    assert "BOGUS9" in str(excinfo.value)
+    assert "DET001" in str(excinfo.value)  # known ids listed for the user
+    with pytest.raises(LintRuleError):
+        resolve_rules(ignore=["NOPE001"])
+
+
+def test_resolve_rules_select_and_ignore():
+    rules = resolve_rules(select=["DET001", "LCK001"], ignore=["LCK001"])
+    assert [rule.id for rule in rules] == ["DET001"]
