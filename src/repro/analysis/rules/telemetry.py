@@ -56,6 +56,7 @@ DECLARED_LABELS = frozenset(
         "mode",  # solve mode (full/incremental)
         "swarm",  # simulated swarm ids
         "scheme",  # selection scheme (native/localized/p4p)
+        "endpoint",  # failover endpoint index (bounded by the configured list)
         "status",  # integrator portal health (PortalStatus: ok/stale/unavailable)
     }
 )

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import enum
 import logging
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from repro.core.charging import (
 from repro.core.objectives import MinMaxUtilization, ProviderObjective, effective_capacity
 from repro.core.pdistance import PDistanceMap, PidMap, external_view
 from repro.core.policy import NetworkPolicy
+from repro.core.statestore import StateStore
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
 from repro.optimization.projection import project_weighted_simplex, uniform_price
@@ -77,6 +79,10 @@ class ITrackerConfig:
             raise ValueError("update_period must be positive")
         if self.step_size <= 0:
             raise ValueError("step_size must be positive")
+        if self.perturbation < 0:
+            raise ValueError("perturbation must be >= 0")
+        if not 0 < self.charging_quantile <= 1:
+            raise ValueError("charging_quantile must be in (0, 1]")
 
 
 @dataclass
@@ -100,6 +106,14 @@ class ITracker:
     #: refreshes the ``p4p_core_*`` gauges.  A :class:`~repro.portal.server.
     #: PortalServer` fronting this iTracker shares its bundle automatically.
     telemetry: Optional[Any] = field(default=None, repr=False)
+    #: Optional :class:`repro.core.statestore.StateStore`; when present
+    #: every version bump appends a WAL record and :meth:`checkpoint` /
+    #: :meth:`restore` make the portal survive a crash with its price
+    #: iterate, charging histories, and version epoch intact.
+    state_store: Optional[StateStore] = field(default=None, repr=False)
+
+    #: How many recent update records :meth:`state_delta` can serve.
+    UPDATE_LOG_SIZE = 256
 
     def __post_init__(self) -> None:
         self.routing = RoutingTable.build(self.topology)
@@ -109,9 +123,12 @@ class ITracker:
         )
         self._prices = self._initial_prices()
         self._version = 0
+        self._epoch = 0
         self._last_update_time = 0.0
         self._volume_history: Dict[LinkKey, List[float]] = {}
         self._background_history: Dict[LinkKey, List[float]] = {}
+        self._update_log: Deque[Dict[str, Any]] = deque(maxlen=self.UPDATE_LOG_SIZE)
+        self._update_log.append(self._update_record())
 
     # -- price state -----------------------------------------------------------
 
@@ -141,6 +158,17 @@ class ITracker:
     def version(self) -> int:
         """Monotone counter bumped on every dynamic update (cache key)."""
         return self._version
+
+    @property
+    def epoch(self) -> int:
+        """Restart generation: 0 for a fresh portal, +1 per :meth:`restore`.
+
+        ``(epoch, version)`` is the fully monotone identity of the price
+        state: a restore bumps both, so clients comparing the pair detect
+        an amnesiac restart (a tracker that reset to ``(0, 0)``) as a
+        regression rather than mistaking it for fresh state.
+        """
+        return self._epoch
 
     # -- the p4p-distance interface ---------------------------------------------
 
@@ -212,6 +240,7 @@ class ITracker:
             self._prices + self.config.step_size * xi, self._capacities
         )
         self._version += 1
+        self._log_update()
         if telemetry is not None:
             self._record_price_update(telemetry, span, xi, loads)
         logger.debug(
@@ -276,6 +305,7 @@ class ITracker:
         else:
             self._prices = self._initial_prices()
         self._version += 1
+        self._log_update()
 
     def warm_start(self, iterations: int = 30) -> None:
         """Pre-converge dynamic prices against background traffic only.
@@ -295,6 +325,174 @@ class ITracker:
                 self._prices + self.config.step_size * xi, self._capacities
             )
         self._version += 1
+        self._log_update()
+
+    # -- crash safety & replication ------------------------------------------------
+
+    def _update_record(self) -> Dict[str, Any]:
+        """One self-contained price-state record (WAL line / delta entry)."""
+        return {
+            "epoch": self._epoch,
+            "version": self._version,
+            "time": self._last_update_time,
+            "prices": [
+                [src, dst, float(value)]
+                for (src, dst), value in zip(self._link_order, self._prices)
+            ],
+        }
+
+    def _log_update(self) -> None:
+        """Record the current state in the delta log and, if attached, the WAL."""
+        record = self._update_record()
+        self._update_log.append(record)
+        if self.state_store is not None:
+            self.state_store.append_wal(record)
+
+    def checkpoint(self) -> None:
+        """Write a full snapshot (prices, version, epoch, charging
+        histories) to the attached store and reset the WAL."""
+        if self.state_store is None:
+            raise RuntimeError("iTracker has no state store attached")
+        self.state_store.save_snapshot(
+            {
+                "format": 1,
+                "topology": self.topology.name,
+                "epoch": self._epoch,
+                "version": self._version,
+                "last_update_time": self._last_update_time,
+                "prices": [
+                    [src, dst, float(value)]
+                    for (src, dst), value in zip(self._link_order, self._prices)
+                ],
+                "volume_history": [
+                    [src, dst, list(values)]
+                    for (src, dst), values in self._volume_history.items()
+                ],
+                "background_history": [
+                    [src, dst, list(values)]
+                    for (src, dst), values in self._background_history.items()
+                ],
+            }
+        )
+
+    def restore(self) -> bool:
+        """Resume from the attached store's snapshot + WAL, if any.
+
+        Returns False (leaving the fresh state untouched) when the store
+        is empty.  On success the price vector is the last persisted
+        iterate -- the projected super-gradient *continues* instead of
+        re-converging from uniform -- the charging histories come back
+        from the snapshot, and both ``version`` and ``epoch`` come back
+        strictly higher than any persisted value, so caches and replicas
+        see the restart as an update, never a reset.  The restored state
+        is immediately re-checkpointed: a crash right after recovery
+        still recovers to the same place.
+        """
+        if self.state_store is None:
+            raise RuntimeError("iTracker has no state store attached")
+        recovered = self.state_store.load()
+        if recovered.empty:
+            return False
+        snapshot = recovered.snapshot or {}
+        name = snapshot.get("topology")
+        if name is not None and name != self.topology.name:
+            raise ValueError(
+                f"state store holds topology {name!r}, not {self.topology.name!r}"
+            )
+        epoch = int(snapshot.get("epoch", 0))
+        version = int(snapshot.get("version", 0))
+        last_time = float(snapshot.get("last_update_time", 0.0))
+        prices = snapshot.get("prices")
+        tail = recovered.latest_record
+        if tail is not None:
+            epoch = max(epoch, int(tail.get("epoch", 0)))
+            version = max(version, int(tail.get("version", 0)))
+            last_time = float(tail.get("time", last_time))
+            prices = tail.get("prices", prices)
+        if prices is not None:
+            self._set_prices([(src, dst, value) for src, dst, value in prices])
+        self._volume_history = {
+            (src, dst): [float(v) for v in values]
+            for src, dst, values in snapshot.get("volume_history", [])
+        }
+        self._background_history = {
+            (src, dst): [float(v) for v in values]
+            for src, dst, values in snapshot.get("background_history", [])
+        }
+        # Strictly-higher identity: the restart is an epoch boundary.
+        self._epoch = epoch + 1
+        self._version = version + 1
+        self._last_update_time = last_time
+        self._update_log.clear()
+        self._update_log.append(self._update_record())
+        self.checkpoint()
+        logger.info(
+            "restored %s from %s: epoch %d, version %d (%d WAL record(s), %d torn)",
+            self.topology.name,
+            self.state_store.directory,
+            self._epoch,
+            self._version,
+            len(recovered.records),
+            recovered.truncated_records,
+        )
+        return True
+
+    def _set_prices(self, entries: Sequence[Tuple[str, str, float]]) -> None:
+        """Install a persisted/replicated price vector.
+
+        When the link set matches exactly the vector is installed
+        verbatim (bit-identical resume); otherwise surviving links carry
+        their price and the result is re-projected, mirroring
+        :meth:`refresh_topology`.
+        """
+        table = {(src, dst): float(value) for src, dst, value in entries}
+        if set(table) == set(self._link_order):
+            self._prices = np.array([table[key] for key in self._link_order])
+        else:
+            carried = np.array([table.get(key, 0.0) for key in self._link_order])
+            self._prices = project_weighted_simplex(carried, self._capacities)
+
+    def state_delta(self, since: int = -1) -> Dict[str, Any]:
+        """Price-state records newer than version ``since`` (the
+        ``get_state_delta`` portal method's payload).
+
+        Records are self-contained full vectors, so a follower that
+        misses intermediate records (the in-memory tail is bounded) still
+        converges by applying the newest one.  ``complete`` is False when
+        the tail no longer reaches back to ``since`` + 1 -- harmless for
+        price state, but a signal that charging histories need a fresh
+        snapshot transfer out of band.
+        """
+        records = [
+            record for record in self._update_log if int(record["version"]) > since
+        ]
+        oldest = int(self._update_log[0]["version"]) if self._update_log else 0
+        return {
+            "epoch": self._epoch,
+            "version": self._version,
+            "records": records,
+            "complete": since >= oldest - 1 or not records,
+        }
+
+    def apply_state_delta(self, delta: Mapping[str, Any]) -> bool:
+        """Follower side of replication: install the newest delta record.
+
+        Returns True when state advanced.  Regressions (a delta whose
+        ``(epoch, version)`` is not ahead) are ignored, so a standby can
+        never be rolled back by a lagging or amnesiac primary.
+        """
+        records = list(delta.get("records", []))
+        if not records:
+            return False
+        tail = records[-1]
+        key = (int(tail.get("epoch", delta.get("epoch", 0))), int(tail["version"]))
+        if key <= (self._epoch, self._version) and (self._epoch, self._version) != (0, 0):
+            return False
+        self._set_prices([(src, dst, value) for src, dst, value in tail["prices"]])
+        self._epoch, self._version = key
+        self._last_update_time = float(tail.get("time", self._last_update_time))
+        self._update_log.append(self._update_record())
+        return True
 
     # -- interdomain multihoming (Sec. 6.1) -----------------------------------------
 

@@ -1,0 +1,235 @@
+"""Crash-safe iTracker state: atomic snapshots plus an append-only WAL.
+
+The paper treats each ISP's iTracker as an always-on control-plane
+service (Secs. 3, 6.1); in practice portals crash, and a restart that
+forgets its price state re-converges the projected super-gradient from
+uniform prices while every appTracker rides a stale view.  This module
+gives the iTracker a durable home for its state:
+
+* **Snapshots** -- the full state document (prices, version, epoch,
+  charging-volume histories) written to a tempfile in the store
+  directory and atomically renamed over the previous snapshot, so a
+  crash mid-write never leaves a half-written snapshot behind.  Each
+  snapshot carries a CRC-32 of its canonical JSON body.
+* **WAL** -- an append-only JSON-lines file of per-iteration price
+  updates, one self-contained record per dynamic update (full price
+  vector + version), each line CRC-checked.  Recovery replays the WAL
+  on top of the snapshot and *truncates torn tails*: a partially
+  written or corrupted final line (the signature of a crash mid-append
+  or a disk-level scribble) is dropped, not fatal.
+
+Records are self-contained (every WAL line holds the complete price
+vector), so recovery needs only the newest intact line; middle-of-file
+corruption therefore costs at most history, never correctness.
+
+:class:`~repro.core.itracker.ITracker` wires this up via
+``checkpoint()`` / ``restore()``; the replication layer
+(:mod:`repro.portal.replication`) reuses the same record shape for
+``get_state_delta`` so a standby follows the primary's WAL over the
+wire.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+logger = logging.getLogger(__name__)
+
+SNAPSHOT_FILE = "snapshot.json"
+WAL_FILE = "wal.jsonl"
+
+
+class StateStoreError(Exception):
+    """The store directory is unusable (not a corruption -- those heal)."""
+
+
+def _canonical(document: Any) -> bytes:
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _crc(document: Any) -> int:
+    return zlib.crc32(_canonical(document)) & 0xFFFFFFFF
+
+
+@dataclass
+class RecoveredState:
+    """What :meth:`StateStore.load` found on disk.
+
+    ``state`` is the merged view: the snapshot body with every intact WAL
+    record of a *higher version* replayed on top (``records``).  A corrupt
+    snapshot is treated as absent (recovery continues from the WAL alone,
+    since records are self-contained); torn or corrupt WAL tail lines are
+    counted in ``truncated_records`` and dropped.
+    """
+
+    snapshot: Optional[Dict[str, Any]] = None
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    snapshot_corrupt: bool = False
+    truncated_records: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.snapshot is None and not self.records
+
+    @property
+    def latest_record(self) -> Optional[Dict[str, Any]]:
+        return self.records[-1] if self.records else None
+
+
+class StateStore:
+    """One directory holding one iTracker's snapshot and WAL."""
+
+    def __init__(self, directory: "str | os.PathLike[str]", fsync: bool = False) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StateStoreError(f"cannot create state directory: {exc}") from exc
+        self.fsync = fsync
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / SNAPSHOT_FILE
+
+    @property
+    def wal_path(self) -> Path:
+        return self.directory / WAL_FILE
+
+    # -- snapshots ---------------------------------------------------------
+
+    def save_snapshot(self, state: Dict[str, Any]) -> None:
+        """Atomically replace the snapshot, then reset the WAL.
+
+        Write order matters for crash safety: the new snapshot lands via
+        tempfile + ``os.replace`` (atomic on POSIX) *before* the WAL is
+        truncated, so a crash between the two leaves a snapshot plus a
+        WAL whose records are merely redundant (replay skips records at
+        or below the snapshot version), never a gap.
+        """
+        document = {"state": state, "crc": _crc(state)}
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=SNAPSHOT_FILE + ".", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, self.snapshot_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.reset_wal()
+
+    def load_snapshot(self) -> "tuple[Optional[Dict[str, Any]], bool]":
+        """(snapshot state, corrupt?) -- ``(None, False)`` when absent."""
+        try:
+            raw = self.snapshot_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None, False
+        except OSError as exc:
+            raise StateStoreError(f"cannot read snapshot: {exc}") from exc
+        try:
+            document = json.loads(raw)
+            state = document["state"]
+            if _crc(state) != int(document["crc"]):
+                raise ValueError("CRC mismatch")
+        except (ValueError, KeyError, TypeError) as exc:
+            logger.warning("discarding corrupt snapshot %s: %s", self.snapshot_path, exc)
+            return None, True
+        return state, False
+
+    # -- the WAL -----------------------------------------------------------
+
+    def append_wal(self, record: Dict[str, Any]) -> None:
+        """Append one CRC-framed record as a single JSON line."""
+        line = json.dumps(
+            {"record": record, "crc": _crc(record)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with open(self.wal_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def read_wal(self) -> "tuple[List[Dict[str, Any]], int]":
+        """(intact records, dropped-line count); tolerant of torn tails.
+
+        Every line is parsed and CRC-verified independently.  Lines that
+        fail (truncated JSON, garbage bytes, CRC mismatch) are dropped;
+        intact lines *after* a bad one are still honoured, so a scribble
+        in the middle costs only that record.
+        """
+        try:
+            raw = self.wal_path.read_text(encoding="utf-8", errors="replace")
+        except FileNotFoundError:
+            return [], 0
+        except OSError as exc:
+            raise StateStoreError(f"cannot read WAL: {exc}") from exc
+        records: List[Dict[str, Any]] = []
+        dropped = 0
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                framed = json.loads(line)
+                record = framed["record"]
+                if _crc(record) != int(framed["crc"]):
+                    raise ValueError("CRC mismatch")
+            except (ValueError, KeyError, TypeError):
+                dropped += 1
+                continue
+            records.append(record)
+        if dropped:
+            logger.warning(
+                "WAL %s: dropped %d corrupt/torn line(s)", self.wal_path, dropped
+            )
+        return records, dropped
+
+    def reset_wal(self) -> None:
+        """Truncate the WAL (its records are folded into the snapshot)."""
+        with open(self.wal_path, "w", encoding="utf-8"):
+            pass
+
+    # -- recovery ----------------------------------------------------------
+
+    def load(self) -> RecoveredState:
+        """Merge snapshot + WAL into a :class:`RecoveredState`.
+
+        WAL records at or below the snapshot's ``version`` are skipped
+        (they were folded into the snapshot before the WAL reset, or the
+        crash happened between snapshot rename and WAL truncation).
+        """
+        snapshot, corrupt = self.load_snapshot()
+        records, dropped = self.read_wal()
+        if snapshot is not None:
+            floor = int(snapshot.get("version", -1))
+            records = [r for r in records if int(r.get("version", -1)) > floor]
+        records.sort(key=lambda r: int(r.get("version", -1)))
+        return RecoveredState(
+            snapshot=snapshot,
+            records=records,
+            snapshot_corrupt=corrupt,
+            truncated_records=dropped,
+        )
+
+    def clear(self) -> None:
+        """Testing/chaos helper: drop all persisted state."""
+        for path in (self.snapshot_path, self.wal_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass

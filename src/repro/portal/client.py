@@ -39,6 +39,15 @@ class PortalTransportError(PortalClientError):
     """
 
 
+class PortalTimeoutError(PortalTransportError):
+    """The RPC deadline elapsed (server alive but slow).
+
+    Still a transport failure for retry/breaker purposes, but exempt from
+    the client's reconnect-and-resend path: resending after a timeout just
+    doubles the wait.
+    """
+
+
 class DiscoveryError(PortalClientError):
     """No iTracker is registered for the requested domain."""
 
@@ -61,6 +70,7 @@ class PortalClient:
         telemetry: Optional[Any] = None,
     ) -> None:
         self._address = (host, port)
+        self._timeout = timeout
         self._sock = socket.create_connection(self._address, timeout=timeout)
         self._cached_view: Optional[PDistanceMap] = None
         self._cached_version: Optional[int] = None
@@ -86,6 +96,10 @@ class PortalClient:
                 "p4p_client_view_cache_total",
                 "Full-view fetches resolved by the version cache, by outcome.",
                 ("outcome",),
+            )
+            self._reconnects = registry.counter(
+                "p4p_client_reconnects_total",
+                "Sockets re-established after a server restart mid-session.",
             )
 
     def close(self) -> None:
@@ -119,9 +133,30 @@ class PortalClient:
         return result
 
     def _call_raw(self, method: str, **params: Any) -> Any:
+        """One RPC round trip, surviving one server restart.
+
+        A portal restart leaves this client holding a dead socket: the
+        next send or read fails with EOF or a connection reset.  All
+        portal methods are idempotent reads, so the frame is retried
+        *exactly once* over a fresh connection before the failure
+        propagates; timeouts are not retried (the server is alive but
+        slow -- retrying doubles the wait for nothing).
+        """
+        frame = protocol.encode_frame(protocol.request(method, **params))
         try:
-            self._sock.sendall(protocol.encode_frame(protocol.request(method, **params)))
+            return self._roundtrip(frame)
+        except PortalTimeoutError:
+            raise
+        except PortalTransportError:
+            self._reconnect()
+            return self._roundtrip(frame)
+
+    def _roundtrip(self, frame: bytes) -> Any:
+        try:
+            self._sock.sendall(frame)
             response = protocol.read_frame(self._sock)
+        except socket.timeout as exc:
+            raise PortalTimeoutError(f"portal timed out: {exc}") from exc
         except (OSError, protocol.ProtocolError) as exc:
             raise PortalTransportError(f"transport failure: {exc}") from exc
         if response is None:
@@ -130,10 +165,29 @@ class PortalClient:
             raise PortalClientError(response["error"])
         return response.get("result")
 
+    def _reconnect(self) -> None:
+        self.close()
+        try:
+            self._sock = socket.create_connection(self._address, timeout=self._timeout)
+        except OSError as exc:
+            raise PortalTransportError(f"reconnect failed: {exc}") from exc
+        if self._telemetry is not None:
+            self._reconnects.inc()
+
     # -- interface methods -----------------------------------------------------
 
     def get_version(self) -> int:
         return int(self._call("get_version")["version"])
+
+    def get_version_info(self) -> Dict[str, Any]:
+        """Full ``get_version`` document: ``version``, ``epoch``, and --
+        when the server is a standby replica -- ``staleness`` seconds."""
+        return self._call("get_version")
+
+    def get_state_delta(self, since: int = -1) -> Dict[str, Any]:
+        """Price-state records newer than version ``since`` (how a
+        standby replica tails the primary's WAL over the wire)."""
+        return self._call("get_state_delta", since=since)
 
     def get_pdistances(self, pids: Optional[List[str]] = None) -> PDistanceMap:
         """Fetch the external view; full views are cached by version.
@@ -217,15 +271,33 @@ class Integrator:
     (``get_view``) additionally report stale-view serves and breaker state.
     """
 
-    portals: Dict[int, PortalClient] = field(default_factory=dict)
+    #: One client per AS: a plain :class:`PortalClient`, a
+    #: :class:`~repro.portal.resilience.ResilientPortalClient`, or a
+    #: :class:`~repro.portal.replication.FailoverPortalClient` spanning a
+    #: primary and its standby replicas (multiple endpoints per AS).
+    portals: Dict[int, Any] = field(default_factory=dict)
     health: Dict[int, PortalHealth] = field(default_factory=dict)
     #: Optional :class:`repro.observability.Telemetry`; when present each
     #: :meth:`views` pass records per-AS fetch latency and outcome counts.
     telemetry: Optional[Any] = None
 
-    def add(self, as_number: int, client: PortalClient) -> None:
+    def add(self, as_number: int, client: Any) -> None:
         self.portals[as_number] = client
         self.health[as_number] = PortalHealth()
+
+    def add_replicated(
+        self, as_number: int, endpoints: List[Tuple[str, int]], **client_kwargs: Any
+    ) -> Any:
+        """Wire one AS to several replica endpoints (primary first) via a
+        health-ranked :class:`~repro.portal.replication.
+        FailoverPortalClient`; returns the client for further wiring."""
+        from repro.portal.replication import FailoverPortalClient
+
+        client = FailoverPortalClient(
+            endpoints, telemetry=self.telemetry, **client_kwargs
+        )
+        self.add(as_number, client)
+        return client
 
     def views(self) -> Dict[int, PDistanceMap]:
         """One external view per AS, freshest available (possibly stale).

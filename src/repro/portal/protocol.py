@@ -120,6 +120,7 @@ METHOD_SCHEMAS: Dict[str, Dict[str, Tuple[bool, str]]] = {
     },
     "lookup_pid": {"ip": (True, "string")},
     "get_version": {},
+    "get_state_delta": {"since": (False, "integer")},
     "get_metrics": {"format": (False, "string")},
     "get_alto_costmap": {
         "mode": (False, "string"),

@@ -219,14 +219,19 @@ def validate_view(
 ) -> None:
     """Raise :class:`ViewValidationError` unless ``view`` passes the checks.
 
-    Checks (each gated by ``policy``): all distances finite and
-    non-negative; full mesh over the advertised PIDs (no missing rows);
+    Checks: a non-empty PID set (unconditional), then, each gated by
+    ``policy``: all distances finite and non-negative; full mesh over the
+    advertised PIDs (no missing rows);
     intra-PID distance no larger than the smallest inter-PID distance from
     the same source (the paper's default cost ordering); PID set equal to
     the expected network map; churn versus ``previous`` bounded by
     ``max_churn_factor``.
     """
     problems: List[str] = []
+    if not view.pids:
+        # An empty PID set is never a usable view: selection over it can
+        # only degrade every session, so pin to the stale cache instead.
+        problems.append("empty PID set")
     if policy.expected_pids is not None and set(view.pids) != set(policy.expected_pids):
         missing = set(policy.expected_pids) - set(view.pids)
         extra = set(view.pids) - set(policy.expected_pids)
@@ -290,6 +295,13 @@ class ViewSnapshot:
     fetched_at: float
     stale: bool = False
     age: float = 0.0
+    #: Restart generation of the serving iTracker; ``(epoch, version)``
+    #: is the fully monotone price-state identity (a crash-restored
+    #: portal bumps both; an amnesiac one resets both -- detectable).
+    epoch: int = 0
+    #: The *server's* advertised staleness when the serving portal is a
+    #: standby replica (seconds behind its primary); None from a primary.
+    origin_staleness: Optional[float] = None
 
 
 class _NullCounters:
@@ -458,7 +470,7 @@ class ResilientPortalClient:
         past :attr:`stale_ttl`.
         """
         try:
-            snapshot = self._fetch_fresh()
+            snapshot = self.fetch_fresh()
         except PortalClientError as exc:
             snapshot = self._stale_or_raise(exc)
         if pids is not None:
@@ -471,19 +483,36 @@ class ResilientPortalClient:
         """Drop-in :meth:`PortalClient.get_pdistances`, resilience included."""
         return self.get_view(pids=pids).view
 
-    def _fetch_fresh(self) -> ViewSnapshot:
-        def fetch(client: PortalClient) -> Tuple[PDistanceMap, int]:
-            version = client.get_version()
+    def fetch_fresh(self) -> ViewSnapshot:
+        """Fetch + validate a fresh full view, no stale fallback.
+
+        This is the building block multi-endpoint failover composes: a
+        :class:`~repro.portal.replication.FailoverPortalClient` tries
+        ``fetch_fresh`` on every replica before settling for anyone's
+        stale view.  Raises :class:`PortalClientError` on any failure.
+        """
+
+        def fetch(client: PortalClient) -> Tuple[PDistanceMap, int, int, Optional[float]]:
+            # Prefer the full version document (epoch + replica staleness);
+            # fall back to the bare version for minimal client stand-ins.
+            info_fn = getattr(client, "get_version_info", None)
+            if info_fn is not None:
+                info = info_fn()
+                version = int(info["version"])
+                epoch = int(info.get("epoch", 0))
+                staleness = info.get("staleness")
+            else:
+                version, epoch, staleness = client.get_version(), 0, None
             try:
                 view = client.get_pdistances()
             except ValueError as exc:
                 # e.g. negative distances rejected by PDistanceMap itself:
                 # classify as a validation failure, not a crash.
                 raise ViewValidationError([str(exc)]) from exc
-            return view, version
+            return view, version, epoch, staleness
 
         try:
-            view, version = self._invoke(fetch)
+            view, version, epoch, staleness = self._invoke(fetch)
             previous = self._last_good.view if self._last_good else None
             validate_view(view, self.validation, previous=previous)
         except ViewValidationError:
@@ -491,21 +520,36 @@ class ResilientPortalClient:
             self.breaker.record_failure()
             raise
         now = self._clock()
-        snapshot = ViewSnapshot(view=view, version=version, fetched_at=now)
+        snapshot = ViewSnapshot(
+            view=view,
+            version=version,
+            fetched_at=now,
+            epoch=epoch,
+            origin_staleness=staleness,
+        )
         self._last_good = snapshot
         self.counters.breaker_trips = self.breaker.trip_count
         self.counters.breaker_probes = self.breaker.probe_count
         return snapshot
 
+    def stale_snapshot(self) -> Optional[ViewSnapshot]:
+        """The last accepted view flagged stale with its age, if within
+        :attr:`stale_ttl`; ``None`` when absent or expired.  Serving it
+        counts as a stale serve."""
+        if self._last_good is None:
+            return None
+        age = self._clock() - self._last_good.fetched_at
+        if age > self.stale_ttl:
+            return None
+        self.counters.stale_serves += 1
+        return replace(self._last_good, stale=True, age=age)
+
     def _stale_or_raise(self, cause: PortalClientError) -> ViewSnapshot:
         self.counters.breaker_trips = self.breaker.trip_count
         self.counters.breaker_probes = self.breaker.probe_count
-        now = self._clock()
-        if self._last_good is not None:
-            age = now - self._last_good.fetched_at
-            if age <= self.stale_ttl:
-                self.counters.stale_serves += 1
-                return replace(self._last_good, stale=True, age=age)
+        snapshot = self.stale_snapshot()
+        if snapshot is not None:
+            return snapshot
         self.counters.unavailable += 1
         raise PortalUnavailable(
             f"portal {self._address[0]}:{self._address[1]} unavailable and "

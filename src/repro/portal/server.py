@@ -9,7 +9,12 @@ requests.  Methods mirror the iTracker interfaces:
 * ``get_policy`` -- the policy document;
 * ``get_capabilities`` (params: ``requester``, optional ``kind``/``pid``);
 * ``lookup_pid`` (params: ``ip``) -- client IP -> (PID, AS);
-* ``get_version`` -- the price-state version for cache validation;
+* ``get_version`` -- the price-state version (plus restart ``epoch``, and
+  a ``staleness`` field when this server is a standby replica) for cache
+  validation;
+* ``get_state_delta`` (params: optional ``since``) -- price-state records
+  newer than a version, how a standby replica tails the primary's WAL
+  over the wire (:mod:`repro.portal.replication`);
 * ``get_alto_costmap`` / ``get_alto_networkmap`` -- the same state in ALTO
   (RFC 7285) document form for interoperability with ALTO clients;
 * ``get_metrics`` (params: optional ``format``: ``json``/``prometheus``) --
@@ -27,9 +32,10 @@ price-update convergence alongside the request-path metrics.
 from __future__ import annotations
 
 import logging
+import socket
 import socketserver
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.capability import AccessDeniedError, CapabilityKind
 from repro.core.itracker import ITracker
@@ -50,22 +56,28 @@ class PortalRequestError(Exception):
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         server: "PortalServer" = self.server.portal  # type: ignore[attr-defined]
-        while True:
-            try:
-                framed = protocol.read_frame_ex(self.request)
-            except protocol.ProtocolError:
-                break
-            if framed is None:
-                break
-            message, frame_bytes = framed
-            server._bytes_in.inc(frame_bytes)
-            response = server.dispatch(message)
-            payload = protocol.encode_frame(response)
-            server._bytes_out.inc(len(payload))
-            try:
-                self.request.sendall(payload)
-            except OSError:
-                break
+        server._track(self.request)
+        try:
+            while True:
+                try:
+                    framed = protocol.read_frame_ex(self.request)
+                except (protocol.ProtocolError, OSError):
+                    # OSError: the peer reset, or close() severed this
+                    # connection while we were blocked in recv.
+                    break
+                if framed is None:
+                    break
+                message, frame_bytes = framed
+                server._bytes_in.inc(frame_bytes)
+                response = server.dispatch(message)
+                payload = protocol.encode_frame(response)
+                server._bytes_out.inc(len(payload))
+                try:
+                    self.request.sendall(payload)
+                except OSError:
+                    break
+        finally:
+            server._untrack(self.request)
 
 
 class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
@@ -82,9 +94,14 @@ class PortalServer:
         host: str = "127.0.0.1",
         port: int = 0,
         telemetry: Optional[Telemetry] = None,
+        staleness_provider: Optional[Callable[[], Optional[float]]] = None,
     ):
         self.itracker = itracker
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # A standby replica serves reads with an explicit staleness field
+        # (seconds since its last successful sync with the primary); a
+        # primary serves none, so clients can tell the two roles apart.
+        self._staleness_provider = staleness_provider
         # One bundle per process: price-update instruments land in the same
         # registry the request path writes, so a single scrape sees both.
         if getattr(itracker, "telemetry", None) is None:
@@ -118,6 +135,8 @@ class PortalServer:
         self._bytes_out = registry.counter(
             "p4p_portal_frame_bytes_total", "", ("direction",)
         ).labels(direction="out")
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
         self._server = _ThreadedTcpServer((host, port), _Handler)
         self._server.portal = self  # type: ignore[attr-defined]
         self._thread = threading.Thread(
@@ -129,9 +148,35 @@ class PortalServer:
     def address(self) -> Tuple[str, int]:
         return self._server.server_address  # type: ignore[return-value]
 
+    def _track(self, connection) -> None:
+        with self._connections_lock:
+            self._connections.add(connection)
+
+    def _untrack(self, connection) -> None:
+        with self._connections_lock:
+            self._connections.discard(connection)
+
     def close(self) -> None:
+        """Stop serving and sever every established connection.
+
+        A crashed portal process takes its sockets with it; closing only
+        the listener would leave handler threads answering old
+        connections from beyond the grave -- exactly the zombie state the
+        chaos harness (and any client reconnect logic) must never see.
+        """
         self._server.shutdown()
         self._server.server_close()
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "PortalServer":
         return self
@@ -240,7 +285,19 @@ class PortalServer:
         return {"pid": pid, "as": as_number}
 
     def _do_get_version(self, params: Dict[str, Any]):
-        return {"version": self.itracker.version}
+        result: Dict[str, Any] = {
+            "version": self.itracker.version,
+            "epoch": getattr(self.itracker, "epoch", 0),
+        }
+        if self._staleness_provider is not None:
+            staleness = self._staleness_provider()
+            if staleness is not None:
+                result["staleness"] = staleness
+        return result
+
+    def _do_get_state_delta(self, params: Dict[str, Any]):
+        since = params.get("since")
+        return self.itracker.state_delta(since=-1 if since is None else int(since))
 
     def _do_get_metrics(self, params: Dict[str, Any]):
         fmt = params.get("format", "json")

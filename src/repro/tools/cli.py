@@ -11,7 +11,13 @@ Examples::
     python -m repro.tools.cli fieldtest --clients 600
     python -m repro.tools.cli telemetry --portal 127.0.0.1:6671
     python -m repro.tools.cli lint --format json
+    python -m repro.tools.cli chaos --seed 11
     python -m repro.tools.cli list
+
+``chaos`` runs the seeded crash/partition/corruption scenario of
+:mod:`repro.simulator.chaos` (primary + standby, state store, failover
+client) and exits non-zero if any invariant -- version monotonicity,
+bounded staleness, no price reset, MLU re-convergence -- is violated.
 
 ``telemetry`` is the operator-facing scrape: it calls ``get_metrics`` on
 one or more live portals and renders the text dashboard (request rates,
@@ -187,6 +193,22 @@ def _run_lint(args: argparse.Namespace, out) -> int:
     return run_lint(args, out=out)
 
 
+def _run_chaos(args: argparse.Namespace, out) -> int:
+    from repro.simulator.chaos import ChaosSchedule, format_chaos, run_chaos
+
+    schedule = ChaosSchedule.seeded(
+        args.seed, horizon=args.horizon, with_state=not args.no_state
+    )
+    result = run_chaos(
+        schedule=schedule,
+        seed=args.seed,
+        with_state=not args.no_state,
+        n_peers=args.peers,
+    )
+    print(format_chaos(result, epsilon=args.epsilon), file=out)
+    return 1 if result.violations else 0
+
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "table1": _run_table1,
     "fig6": _run_fig6,
@@ -199,6 +221,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "ablations": _run_ablations,
     "telemetry": _run_telemetry,
     "lint": _run_lint,
+    "chaos": _run_chaos,
 }
 
 
@@ -243,6 +266,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="dashboard",
     )
     telemetry.add_argument("--timeout", type=float, default=5.0)
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded crash/partition/corruption scenario with invariant "
+        "checks; exits non-zero on any violation",
+    )
+    chaos.add_argument("--seed", type=int, default=11)
+    chaos.add_argument("--peers", type=int, default=12)
+    chaos.add_argument(
+        "--horizon", type=float, default=100.0,
+        help="window of simulation time the seeded events land in",
+    )
+    chaos.add_argument(
+        "--epsilon", type=float, default=0.15,
+        help="relative MLU re-convergence tolerance vs the fault-free twin",
+    )
+    chaos.add_argument(
+        "--no-state",
+        action="store_true",
+        help="restart the crashed portal without its state store "
+        "(demonstrates the amnesiac-restart violations the store prevents)",
+    )
     lint = sub.add_parser(
         "lint", help="run p4plint, the AST-based invariant checker"
     )

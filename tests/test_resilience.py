@@ -245,6 +245,30 @@ class TestValidateView:
         with pytest.raises(ViewValidationError, match="PID set mismatch"):
             validate_view(make_view(), policy)
 
+    def test_rejects_empty_pid_set_unconditionally(self):
+        empty = PDistanceMap(pids=(), distances={})
+        with pytest.raises(ViewValidationError, match="empty PID set"):
+            validate_view(empty)
+        # Even with every optional check disabled: an empty view can only
+        # degrade every session, so it is never acceptable.
+        permissive = ValidationPolicy(
+            require_finite=False,
+            require_full_mesh=False,
+            require_intra_le_inter=False,
+            max_churn_factor=None,
+        )
+        with pytest.raises(ViewValidationError, match="empty PID set"):
+            validate_view(empty, permissive)
+
+    def test_rejects_negative_distance(self):
+        # PDistanceMap itself refuses negatives at construction, so build
+        # a valid view and scribble the shared distances dict afterwards
+        # (what a byzantine wire payload smuggled past parsing looks like).
+        view = make_view()
+        view.distances[("A", "B")] = -3.0
+        with pytest.raises(ViewValidationError, match="negative"):
+            validate_view(view)
+
     def test_rejects_excess_churn(self):
         previous = make_view(scale=1.0)
         churned = make_view(scale=100.0)
@@ -388,6 +412,36 @@ class TestResilientPortalClient:
         snapshot = client.get_view()
         assert snapshot.stale and snapshot.view is good.view
         assert client.counters.validation_rejections == 1
+
+    def test_topology_disagreeing_view_pins_to_stale_not_selector_crash(self):
+        """A view whose PID map disagrees with the provisioned network map
+        is rejected; the client pins to the stale cache and the selection
+        plane keeps running on the last-known-good topology."""
+        portal = StubPortal()
+        clock = FakeClock()
+        client = make_client(
+            portal, clock, validation=ValidationPolicy(expected_pids=("A", "B", "C"))
+        )
+        good = client.get_view()
+        # The iTracker re-provisions its PID map; the client's network map
+        # has not caught up, so the advertised PIDs no longer match.
+        renamed = make_view(pids=("A", "B", "Z"))
+        portal.push(("ok", renamed, 2), ("transport", "down"))
+        snapshot = client.get_view()
+        assert snapshot.stale and snapshot.view is good.view
+        assert client.counters.validation_rejections == 1
+        # The stale view still drives selection without an exception.
+        peer = PeerInfo(peer_id=0, pid="A", as_number=7)
+        candidates = [
+            PeerInfo(peer_id=i, pid=pid, as_number=7)
+            for i, pid in enumerate(["A", "B", "C"], start=1)
+        ]
+        selector = P4PSelection(
+            pdistances={7: snapshot.view}, portal_health={7: "stale"}
+        )
+        chosen = selector.select(peer, candidates, 2, random.Random(3))
+        assert len(chosen) == 2
+        assert selector.native_fallbacks == 0
 
     def test_byzantine_parse_error_counts_as_validation(self):
         portal = StubPortal()

@@ -1,0 +1,230 @@
+"""Tests for the crash-safe state store and iTracker checkpoint/restore.
+
+Two layers: the store primitives (atomic snapshots, CRC-framed WAL lines,
+torn-tail truncation, snapshot/WAL merge) and the iTracker's durability
+contract -- a restored tracker resumes the projected super-gradient from
+its last persisted iterate with a strictly higher ``(epoch, version)``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.core.statestore import RecoveredState, StateStore
+from repro.network.library import abilene
+
+
+@pytest.fixture
+def store(tmp_path):
+    return StateStore(tmp_path / "state")
+
+
+def make_tracker(store=None, **config_kwargs):
+    config_kwargs.setdefault("mode", PriceMode.DYNAMIC)
+    config_kwargs.setdefault("update_period", 5.0)
+    return ITracker(
+        topology=abilene(),
+        config=ITrackerConfig(**config_kwargs),
+        state_store=store,
+    )
+
+
+def drive(tracker, iterations=3, start=0.0, load=80.0):
+    """Run a few dynamic price updates against a fixed offered load."""
+    key = ("STTL", "DNVR") if ("STTL", "DNVR") in tracker.topology.links else None
+    key = key or next(iter(tracker.topology.links))
+    for i in range(iterations):
+        tracker.observe_loads({key: load}, now=start + 5.0 * (i + 1))
+
+
+class TestStorePrimitives:
+    def test_snapshot_round_trip(self, store):
+        store.save_snapshot({"version": 3, "prices": [1, 2, 3]})
+        state, corrupt = store.load_snapshot()
+        assert not corrupt
+        assert state == {"version": 3, "prices": [1, 2, 3]}
+
+    def test_missing_snapshot_is_absent_not_corrupt(self, store):
+        assert store.load_snapshot() == (None, False)
+
+    def test_corrupt_snapshot_treated_as_absent(self, store):
+        store.save_snapshot({"version": 3})
+        raw = json.loads(store.snapshot_path.read_text())
+        raw["state"]["version"] = 99  # body no longer matches the CRC
+        store.snapshot_path.write_text(json.dumps(raw))
+        state, corrupt = store.load_snapshot()
+        assert state is None and corrupt
+
+    def test_save_snapshot_resets_wal(self, store):
+        store.append_wal({"version": 1})
+        store.save_snapshot({"version": 1})
+        assert store.read_wal() == ([], 0)
+
+    def test_wal_round_trip_preserves_order(self, store):
+        for version in (1, 2, 3):
+            store.append_wal({"version": version})
+        records, dropped = store.read_wal()
+        assert dropped == 0
+        assert [r["version"] for r in records] == [1, 2, 3]
+
+    def test_torn_tail_is_truncated_not_fatal(self, store):
+        store.append_wal({"version": 1})
+        store.append_wal({"version": 2})
+        with open(store.wal_path, "ab") as handle:
+            handle.write(b'{"record": {"version": 3')  # crash mid-append
+        records, dropped = store.read_wal()
+        assert [r["version"] for r in records] == [1, 2]
+        assert dropped == 1
+
+    def test_mid_file_corruption_costs_one_record_only(self, store):
+        for version in (1, 2, 3):
+            store.append_wal({"version": version})
+        lines = store.wal_path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # scribble the middle
+        store.wal_path.write_text("\n".join(lines) + "\n")
+        records, dropped = store.read_wal()
+        assert [r["version"] for r in records] == [1, 3]
+        assert dropped == 1
+
+    def test_crc_mismatch_line_dropped(self, store):
+        store.append_wal({"version": 1})
+        line = json.loads(store.wal_path.read_text())
+        line["record"]["version"] = 7  # body/CRC disagree
+        store.wal_path.write_text(json.dumps(line) + "\n")
+        assert store.read_wal() == ([], 1)
+
+    def test_load_skips_records_at_or_below_snapshot_version(self, store):
+        store.save_snapshot({"version": 5})
+        # A crash between snapshot rename and WAL reset leaves stale lines.
+        for version in (4, 5, 6):
+            store.append_wal({"version": version})
+        recovered = store.load()
+        assert [r["version"] for r in recovered.records] == [6]
+        assert recovered.latest_record == {"version": 6}
+
+    def test_empty_store_recovers_empty(self, store):
+        recovered = store.load()
+        assert recovered.empty
+        assert recovered == RecoveredState()
+
+    def test_clear_drops_everything(self, store):
+        store.save_snapshot({"version": 1})
+        store.append_wal({"version": 2})
+        store.clear()
+        assert store.load().empty
+
+
+class TestTrackerDurability:
+    def test_checkpoint_requires_store(self):
+        with pytest.raises(RuntimeError):
+            make_tracker().checkpoint()
+
+    def test_restore_on_empty_store_is_noop(self, store):
+        tracker = make_tracker(store)
+        before = dict(tracker.link_prices)
+        assert tracker.restore() is False
+        assert tracker.link_prices == before
+        assert tracker.version == 0
+
+    def test_kill_and_restart_resumes_exact_iterate(self, store):
+        """The acceptance test: same price vector, strictly higher
+        version and epoch -- the super-gradient continues, no reset."""
+        primary = make_tracker(store)
+        drive(primary, iterations=4)
+        primary.checkpoint()
+        drive(primary, iterations=2, start=20.0)  # land in the WAL only
+        before_prices = dict(primary.link_prices)
+        before_version, before_epoch = primary.version, primary.epoch
+
+        restarted = make_tracker(StateStore(store.directory))
+        assert restarted.restore() is True
+        assert restarted.version > before_version
+        assert restarted.epoch > before_epoch
+        assert restarted.link_prices.keys() == before_prices.keys()
+        for key, value in before_prices.items():
+            assert restarted.link_prices[key] == pytest.approx(value, abs=1e-12)
+
+    def test_restore_survives_torn_wal_tail(self, store):
+        primary = make_tracker(store)
+        drive(primary, iterations=3)
+        expected = dict(primary.link_prices)
+        with open(store.wal_path, "ab") as handle:
+            handle.write(b'{"record": {"version": 99')  # crash mid-append
+        restarted = make_tracker(StateStore(store.directory))
+        assert restarted.restore() is True
+        for key, value in expected.items():
+            assert restarted.link_prices[key] == pytest.approx(value, abs=1e-12)
+
+    def test_restore_continues_supergradient_not_reconverge(self, store):
+        """After restore, the next update moves from the restored iterate:
+        the price vector stays off-uniform rather than resetting."""
+        primary = make_tracker(store)
+        drive(primary, iterations=6)
+        converged = np.array(sorted(primary.link_prices.values()))
+        restarted = make_tracker(StateStore(store.directory))
+        assert restarted.restore()
+        drive(restarted, iterations=1, start=100.0)
+        after = np.array(sorted(restarted.link_prices.values()))
+        fresh = np.array(sorted(make_tracker().link_prices.values()))
+        # Closer to the converged iterate than to a cold start.
+        assert np.abs(after - converged).sum() < np.abs(after - fresh).sum()
+
+    def test_restore_rejects_wrong_topology(self, store, tmp_path):
+        primary = make_tracker(store)
+        drive(primary)
+        primary.checkpoint()
+        raw = json.loads(store.snapshot_path.read_text())
+        raw["state"]["topology"] = "not-abilene"
+        from repro.core.statestore import _crc
+
+        raw["crc"] = _crc(raw["state"])
+        store.snapshot_path.write_text(json.dumps(raw))
+        store.reset_wal()  # leave only the mismatched snapshot
+        restarted = make_tracker(StateStore(store.directory))
+        with pytest.raises(ValueError, match="topology"):
+            restarted.restore()
+
+    def test_restore_recheckpoints_immediately(self, store):
+        """A crash right after recovery recovers to the same place."""
+        primary = make_tracker(store)
+        drive(primary, iterations=3)
+        first = make_tracker(StateStore(store.directory))
+        assert first.restore()
+        prices, version = dict(first.link_prices), first.version
+        second = make_tracker(StateStore(store.directory))
+        assert second.restore()
+        assert second.version > version
+        for key, value in prices.items():
+            assert second.link_prices[key] == pytest.approx(value, abs=1e-12)
+
+    def test_restore_restores_charging_histories(self, store):
+        primary = make_tracker(store)
+        key = next(iter(primary.topology.links))
+        for i in range(3):
+            primary.record_interval_volumes(
+                {key: 10.0 * (i + 1)}, {key: 2.0 * (i + 1)}
+            )
+        primary.checkpoint()
+        restarted = make_tracker(StateStore(store.directory))
+        assert restarted.restore()
+        assert restarted._volume_history == primary._volume_history
+
+
+class TestConfigValidation:
+    """Satellite: named errors for invalid ITrackerConfig fields."""
+
+    def test_negative_perturbation_rejected(self):
+        with pytest.raises(ValueError, match="perturbation"):
+            ITrackerConfig(perturbation=-0.01)
+
+    def test_charging_quantile_bounds(self):
+        with pytest.raises(ValueError, match="charging_quantile"):
+            ITrackerConfig(charging_quantile=0.0)
+        with pytest.raises(ValueError, match="charging_quantile"):
+            ITrackerConfig(charging_quantile=1.5)
+
+    def test_valid_boundaries_accepted(self):
+        ITrackerConfig(perturbation=0.0, charging_quantile=1.0)
+        ITrackerConfig(charging_quantile=0.95)

@@ -177,6 +177,31 @@ def test_det001_wall_clock_scoped_to_simulation_paths():
     assert len(out_of_scope) < len(in_scope)
 
 
+def test_api001_covers_get_state_delta(tree_report):
+    """The replication wire method stays under API001's parity contract.
+
+    ``get_state_delta`` (how a standby tails its primary's WAL) must keep
+    a handler, a schema entry, and a clean tree gate -- a drift in either
+    direction would let replication requests through unvalidated or leave
+    an orphan schema rotting.
+    """
+    from repro.portal import protocol
+    from repro.portal.server import PortalServer
+
+    assert "get_state_delta" in protocol.METHOD_SCHEMAS
+    assert callable(getattr(PortalServer, "_do_get_state_delta"))
+    # The schema constrains `since` (optional integer) rather than
+    # accepting arbitrary params.
+    assert protocol.METHOD_SCHEMAS["get_state_delta"] == {
+        "since": (False, "integer")
+    }
+    assert not [
+        finding
+        for finding in tree_report.findings
+        if finding.rule == "API001" and "get_state_delta" in finding.message
+    ]
+
+
 # -- baseline round-trip ---------------------------------------------------
 
 
