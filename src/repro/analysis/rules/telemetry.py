@@ -58,6 +58,7 @@ DECLARED_LABELS = frozenset(
         "scheme",  # selection scheme (native/localized/p4p)
         "endpoint",  # failover endpoint index (bounded by the configured list)
         "status",  # integrator portal health (PortalStatus: ok/stale/unavailable)
+        "oracle",  # fuzzer oracle names (differential/chaos/view/universal)
     }
 )
 

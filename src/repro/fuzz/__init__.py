@@ -1,0 +1,65 @@
+"""Coverage-guided scenario fuzzing over the repo's robustness oracles.
+
+See :mod:`repro.fuzz.spec` (the JSON scenario description),
+:mod:`repro.fuzz.mutators` (the seeded mutation pool),
+:mod:`repro.fuzz.executor` (oracles + coverage), :mod:`repro.fuzz.corpus`
+(retention), :mod:`repro.fuzz.minimizer` (delta debugging), and
+:mod:`repro.fuzz.fuzzer` (the loop, findings, and fixtures).
+"""
+
+from repro.fuzz.corpus import Corpus, CorpusEntry, CoverageMap
+from repro.fuzz.executor import Executor, OracleFailure, PLANTS, RunOutcome
+from repro.fuzz.fuzzer import (
+    FIXTURE_FORMAT,
+    Finding,
+    Fixture,
+    FuzzConfig,
+    FuzzReport,
+    Fuzzer,
+    load_fixture,
+    replay_fixture,
+)
+from repro.fuzz.minimizer import MinimizationResult, Minimizer
+from repro.fuzz.mutators import MUTATORS, mutate
+from repro.fuzz.spec import (
+    BYZANTINE_MUTATORS,
+    ChaosSpec,
+    DifferentialSpec,
+    SPEC_FORMAT,
+    ScenarioSpec,
+    TOPOLOGY_FAMILIES,
+    TopologySpec,
+    ViewSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "BYZANTINE_MUTATORS",
+    "ChaosSpec",
+    "Corpus",
+    "CorpusEntry",
+    "CoverageMap",
+    "DifferentialSpec",
+    "Executor",
+    "FIXTURE_FORMAT",
+    "Finding",
+    "Fixture",
+    "FuzzConfig",
+    "FuzzReport",
+    "Fuzzer",
+    "MUTATORS",
+    "MinimizationResult",
+    "Minimizer",
+    "OracleFailure",
+    "PLANTS",
+    "RunOutcome",
+    "SPEC_FORMAT",
+    "ScenarioSpec",
+    "TOPOLOGY_FAMILIES",
+    "TopologySpec",
+    "ViewSpec",
+    "WorkloadSpec",
+    "load_fixture",
+    "mutate",
+    "replay_fixture",
+]

@@ -1,0 +1,103 @@
+"""The ``p4p-repro fuzz`` subcommand: run the fuzzer or replay a fixture.
+
+Kept separate from :mod:`repro.tools.cli` (which only registers the
+arguments and delegates here) so importing the main CLI stays cheap.
+
+Exit status: 0 when every oracle held, 1 when the run produced at least
+one finding (i.e. a minimized failing seed) or a replayed fixture failed
+to reproduce its expected failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz.executor import PLANTS
+from repro.fuzz.fuzzer import FuzzConfig, Fuzzer, load_fixture, replay_fixture
+
+
+def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="fuzzer RNG seed")
+    parser.add_argument(
+        "--iterations", type=int, default=200,
+        help="scenario executions (seed corpus included)",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="optional wall-clock cap; NOTE: makes the run nondeterministic",
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="persist retained specs, findings, and the coverage map here",
+    )
+    parser.add_argument(
+        "--replay", default=None, metavar="FIXTURE",
+        help="re-execute one fixture JSON instead of fuzzing",
+    )
+    parser.add_argument(
+        "--plant", action="append", default=[], choices=sorted(PLANTS),
+        help="activate a planted regression (repeatable; pipeline self-test)",
+    )
+    parser.add_argument(
+        "--no-chaos", action="store_true",
+        help="skip chaos-oracle scenarios (differential + view only; faster)",
+    )
+    parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="report raw failing specs without delta-debugging them",
+    )
+    parser.add_argument(
+        "--chaos-fraction", type=float, default=0.15,
+        help="fraction of mutation parents drawn from chaos-bearing specs",
+    )
+
+
+def run_fuzz(args: argparse.Namespace, out=None) -> int:
+    out = out or sys.stdout
+    if args.replay is not None:
+        return _run_replay(args, out)
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus_dir,
+        plants=tuple(sorted(set(args.plant))),
+        chaos_enabled=not args.no_chaos,
+        chaos_fraction=args.chaos_fraction,
+        minimize=not args.no_minimize,
+    )
+    report = Fuzzer(config).run()
+    print(report.summary(), file=out)
+    if config.corpus_dir:
+        print(f"corpus persisted under {config.corpus_dir}", file=out)
+    return 1 if report.failed else 0
+
+
+def _run_replay(args: argparse.Namespace, out) -> int:
+    try:
+        fixture = load_fixture(args.replay)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load fixture {args.replay}: {exc}", file=out)
+        return 2
+    reproduced, outcome = replay_fixture(
+        fixture, extra_plants=tuple(sorted(set(args.plant)))
+    )
+    oracle, kind = fixture.expect
+    print(f"fixture: {args.replay}", file=out)
+    print(f"expected failure: {oracle}/{kind}", file=out)
+    if fixture.plants:
+        print("plants: " + ", ".join(fixture.plants), file=out)
+    print(
+        "observed: "
+        + (
+            ", ".join(f"{f.oracle}/{f.kind}" for f in outcome.failures)
+            or "no failures"
+        ),
+        file=out,
+    )
+    if reproduced:
+        print("result: REPRODUCED", file=out)
+        return 1
+    print("result: did not reproduce (fixed, or environment drift)", file=out)
+    return 0

@@ -1,0 +1,103 @@
+"""Coverage accounting and the retained-input corpus.
+
+The fuzzer keeps a spec when executing it reached behaviour no earlier
+spec reached -- a new invariant check, chaos event kind, engine code
+path, health-ladder state, failover endpoint, or rejection category (the
+coverage keys emitted by :mod:`repro.fuzz.executor`).  The corpus then
+serves as the parent pool for mutation, with chaos-bearing entries
+picked at a fixed low fraction: one chaos run costs ~100x one
+differential run, so an unweighted draw would spend the whole iteration
+budget on a handful of slow scenarios.
+
+Everything is deterministic: insertion order is execution order, parent
+choice uses the caller's seeded RNG, and serialization is canonical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.fuzz.spec import ScenarioSpec
+
+
+class CoverageMap:
+    """Global key -> first-seen-iteration map; drives retention."""
+
+    def __init__(self) -> None:
+        self._first_seen: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._first_seen)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._first_seen
+
+    @property
+    def keys(self) -> FrozenSet[str]:
+        return frozenset(self._first_seen)
+
+    def observe(self, keys: FrozenSet[str], iteration: int) -> FrozenSet[str]:
+        """Record ``keys``; returns the subset never seen before."""
+        new = frozenset(key for key in keys if key not in self._first_seen)
+        for key in new:
+            self._first_seen[key] = iteration
+        return new
+
+    def to_json(self) -> Dict[str, int]:
+        return dict(sorted(self._first_seen.items()))
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    spec: ScenarioSpec
+    coverage: FrozenSet[str]
+    new_keys: FrozenSet[str]
+    iteration: int
+
+    @property
+    def has_chaos(self) -> bool:
+        return self.spec.chaos is not None
+
+
+class Corpus:
+    """Retained specs, deduplicated by content digest."""
+
+    def __init__(self) -> None:
+        self.entries: List[CorpusEntry] = []
+        self._digests: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, spec: ScenarioSpec) -> bool:
+        return spec.digest() in self._digests
+
+    def add(self, entry: CorpusEntry) -> bool:
+        digest = entry.spec.digest()
+        if digest in self._digests:
+            return False
+        self._digests[digest] = len(self.entries)
+        self.entries.append(entry)
+        return True
+
+    def digests(self) -> List[str]:
+        return sorted(self._digests)
+
+    def choose(
+        self, rng: random.Random, chaos_fraction: float = 0.15
+    ) -> Optional[ScenarioSpec]:
+        """Pick a mutation parent; chaos-bearing parents at a bounded rate.
+
+        No mutator grafts a chaos section onto a spec that lacks one, so
+        capping chaos *parents* caps chaos *executions* -- the knob that
+        keeps a 200-iteration smoke run inside a CI-sized wall clock.
+        """
+        if not self.entries:
+            return None
+        cheap = [e for e in self.entries if not e.has_chaos]
+        chaotic = [e for e in self.entries if e.has_chaos]
+        want_chaos = rng.random() < chaos_fraction
+        pool = chaotic if (want_chaos and chaotic) else (cheap or chaotic)
+        return pool[rng.randrange(len(pool))].spec

@@ -47,10 +47,11 @@ identical event timelines, observations, and violations.
 from __future__ import annotations
 
 import enum
+import math
 import random
 import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apptracker.selection import P4PSelection
 from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
@@ -62,7 +63,7 @@ from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
 from repro.observability import RegistryResilienceCounters, Telemetry
 from repro.portal.client import Integrator
-from repro.portal.faults import FaultyPortal
+from repro.portal.faults import FaultSchedule, FaultyPortal
 from repro.portal.replication import FailoverPortalClient, StandbyReplica
 from repro.portal.resilience import CircuitBreaker, RetryPolicy
 from repro.portal.server import PortalServer
@@ -87,8 +88,43 @@ class ChaosEvent:
     kind: ChaosEventKind
 
     def __post_init__(self) -> None:
+        if not isinstance(self.time, (int, float)) or not math.isfinite(self.time):
+            raise ValueError(f"event time must be a finite number, got {self.time!r}")
         if self.time < 0:
             raise ValueError("event time must be >= 0")
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe document; round-trips through :meth:`from_json`."""
+        return {"time": float(self.time), "kind": self.kind.value}
+
+    @classmethod
+    def from_json(cls, document: Dict[str, Any]) -> "ChaosEvent":
+        """Parse and validate one event; raises ``ValueError`` on garbage.
+
+        Minimized failing fuzz seeds are checked in as JSON fixtures, so
+        a hand-edited or corrupted fixture must fail loudly here rather
+        than as a mid-scenario surprise.
+        """
+        if not isinstance(document, dict):
+            raise ValueError(f"chaos event must be an object, got {document!r}")
+        unknown = set(document) - {"time", "kind"}
+        if unknown:
+            raise ValueError(f"chaos event has unknown keys {sorted(unknown)}")
+        try:
+            kind = ChaosEventKind(document["kind"])
+        except KeyError:
+            raise ValueError("chaos event missing 'kind'") from None
+        except ValueError:
+            valid = ", ".join(k.value for k in ChaosEventKind)
+            raise ValueError(
+                f"unknown chaos event kind {document.get('kind')!r}; one of: {valid}"
+            ) from None
+        if "time" not in document:
+            raise ValueError("chaos event missing 'time'")
+        time_value = document["time"]
+        if isinstance(time_value, bool) or not isinstance(time_value, (int, float)):
+            raise ValueError(f"chaos event time must be a number, got {time_value!r}")
+        return cls(time=float(time_value), kind=kind)
 
 
 class ChaosSchedule:
@@ -102,6 +138,27 @@ class ChaosSchedule:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChaosSchedule):
+            return NotImplemented
+        return self.events == other.events
+
+    @property
+    def amnesiac(self) -> bool:
+        """True when the schedule restarts a primary without its state."""
+        return any(e.kind is ChaosEventKind.RESTART_CLEAN for e in self.events)
+
+    def to_json(self) -> List[Dict[str, Any]]:
+        return [event.to_json() for event in self.events]
+
+    @classmethod
+    def from_json(cls, document: Any) -> "ChaosSchedule":
+        if not isinstance(document, list):
+            raise ValueError(f"chaos schedule must be a list, got {document!r}")
+        if len(document) > 256:
+            raise ValueError("chaos schedule too long (max 256 events)")
+        return cls([ChaosEvent.from_json(entry) for entry in document])
 
     @classmethod
     def seeded(
@@ -225,11 +282,13 @@ class _Cluster:
         itracker_config: ITrackerConfig,
         store: StateStore,
         telemetry: Telemetry,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> None:
         self.topology = topology
         self.itracker_config = itracker_config
         self.store = store
         self.telemetry = telemetry
+        self.fault_schedule = fault_schedule
         self.tracker: Optional[ITracker] = None
         self.server: Optional[PortalServer] = None
         self.proxy: Optional[FaultyPortal] = None
@@ -244,7 +303,7 @@ class _Cluster:
             state_store=self.store,
         )
         self.server = PortalServer(self.tracker, telemetry=self.telemetry)
-        self.proxy = FaultyPortal(self.server.address)
+        self.proxy = FaultyPortal(self.server.address, schedule=self.fault_schedule)
         follower = ITracker(topology=self.topology, config=self.itracker_config)
         self.standby = StandbyReplica(
             follower, self.server.address, clock=clock, telemetry=self.telemetry
@@ -317,6 +376,7 @@ def run_chaos(
     until: float = 5000.0,
     placement_seed: int = 3,
     state_dir: Optional[str] = None,
+    fault_schedule_factory: Optional[Callable[[], FaultSchedule]] = None,
     **config_overrides: Any,
 ) -> ChaosResult:
     """Run the chaos scenario plus its fault-free twin and report.
@@ -325,6 +385,11 @@ def run_chaos(
     iTracker feedback loop, and the same portal machinery -- just an
     empty schedule -- so the MLU comparison isolates the *faults*, not
     the plumbing.  ``state_dir`` defaults to a fresh temporary directory.
+
+    ``fault_schedule_factory`` builds a per-request
+    :class:`~repro.portal.faults.FaultSchedule` for the chaotic run's
+    proxy (e.g. a byzantine default that mutates every served
+    p-distance view); the baseline twin always runs fault-free.
     """
     topo = topology or abilene()
     routing = RoutingTable.build(topo)
@@ -349,7 +414,9 @@ def run_chaos(
         )
 
     def run_once(
-        events: List[ChaosEvent], directory: str
+        events: List[ChaosEvent],
+        directory: str,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> Tuple[SwarmResult, List[ChaosObservation], List[InvariantViolation], Dict[str, Any]]:
         pending = sorted(events, key=lambda e: e.time)
         store = StateStore(directory)
@@ -364,7 +431,9 @@ def run_chaos(
         telemetry = Telemetry(clock=clock)
         sim.telemetry = telemetry
         counters = RegistryResilienceCounters(telemetry.registry)
-        cluster = _Cluster(topo, itracker_config, store, telemetry)
+        cluster = _Cluster(
+            topo, itracker_config, store, telemetry, fault_schedule=fault_schedule
+        )
         cluster.start(clock)
         observations: List[ChaosObservation] = []
         violations: List[InvariantViolation] = []
@@ -553,7 +622,11 @@ def run_chaos(
         [], baseline_dir + "/baseline"
     )
     chaos_result, chaos_obs, chaos_violations, extras = run_once(
-        list(plan), baseline_dir + "/chaotic"
+        list(plan),
+        baseline_dir + "/chaotic",
+        fault_schedule=(
+            fault_schedule_factory() if fault_schedule_factory is not None else None
+        ),
     )
     counters: RegistryResilienceCounters = extras["counters"]
     counters.native_fallbacks = extras["native_fallbacks"]

@@ -1,0 +1,318 @@
+"""Lockstep differential oracle: scalar vs vectorized flow engines.
+
+The reference :class:`~repro.simulator.tcp.FlowNetwork` and the
+incremental :class:`~repro.simulator.tcp.VectorizedFlowNetwork` must be
+observably indistinguishable -- same rates, same completion order, same
+utilization -- or every figure derived from a vectorized run is suspect.
+This module is the single implementation of that oracle, shared by the
+unit tests (``tests/test_engine_differential.py``) and the scenario
+fuzzer (:mod:`repro.fuzz`).
+
+A differential workload is an **explicit event schedule**: a list of link
+capacities plus a list of plain-dict ops --
+
+* ``{"op": "arrive", "links": [...], "size": s, "cap": c | None}`` --
+  start a flow over a link subset (possibly empty: a linkless flow),
+  optionally rate-capped;
+* ``{"op": "abort", "flow": id}`` -- abort a flow mid-flight (a missing
+  id must be a no-op in *both* engines);
+* ``{"op": "advance", "idle": d | None}`` -- advance to the next
+  completion (``idle`` ``None``) or by an idle step of ``d`` seconds,
+  then pop finished flows and compare the pop order.
+
+Explicit schedules (rather than "replay this RNG seed") are what make
+delta-debugging possible: the fuzzer's minimizer can drop single ops
+while the remainder still means the same thing.  :func:`random_schedule`
+generates the schedules the tests sweep; both engines execute every op
+and the full observable state is compared after each one, raising
+:class:`DivergenceError` at the first mismatch.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.simulator.tcp import FlowNetwork, VectorizedFlowNetwork
+
+#: Constructor kwargs forcing each vectorized solve regime: the default
+#: adaptive policy, every solve through the full vector path, and every
+#: solve through the incremental component path.
+ENGINE_REGIMES: Dict[str, Dict[str, Any]] = {
+    "adaptive": {},
+    "full-only": {"dirty_flow_floor": 1, "dirty_flow_fraction": 0.0},
+    "incremental-only": {"dirty_flow_floor": 10**9},
+}
+
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-12
+
+#: Factory for the vectorized side; the fuzzer's planted-regression hooks
+#: substitute a wrapped network here to prove the oracle still catches
+#: known-bad behaviour.
+VectorFactory = Callable[..., VectorizedFlowNetwork]
+
+
+class DivergenceError(AssertionError):
+    """The two engines disagreed on observable state."""
+
+    def __init__(self, context: str, detail: str) -> None:
+        super().__init__(f"{context}: {detail}")
+        self.context = context
+        self.detail = detail
+
+
+@dataclass
+class LockstepReport:
+    """What a completed lockstep run observed (coverage inputs)."""
+
+    steps: int = 0
+    arrivals: int = 0
+    aborts: int = 0
+    advances: int = 0
+    pops: int = 0
+    capped_flows: int = 0
+    linkless_flows: int = 0
+    vector: Optional[VectorizedFlowNetwork] = None
+    op_kinds: List[str] = field(default_factory=list)
+
+    @property
+    def stats(self):
+        assert self.vector is not None
+        return self.vector.stats
+
+
+def _close(a: float, b: float, rel: float = _REL_TOL, abs_tol: float = _ABS_TOL) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return math.isinf(a) and math.isinf(b) and (a > 0) == (b > 0)
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_tol)
+
+
+def _compare(scalar: FlowNetwork, vector: VectorizedFlowNetwork, context: str) -> None:
+    """Full observable-state comparison after one op (forces a solve)."""
+    s_next = scalar.next_completion()
+    v_next = vector.next_completion()
+    scalar._flush()
+    vector._flush()
+    if (s_next is None) != (v_next is None):
+        raise DivergenceError(context, f"next_completion {s_next!r} vs {v_next!r}")
+    if s_next is not None and not _close(s_next, v_next, abs_tol=1e-9):
+        raise DivergenceError(context, f"next_completion {s_next!r} vs {v_next!r}")
+    if scalar.n_flows != vector.n_flows:
+        raise DivergenceError(
+            context, f"n_flows {scalar.n_flows} vs {vector.n_flows}"
+        )
+    s_flows = {flow.flow_id: flow for flow in scalar.flows()}
+    v_flows = {flow.flow_id: flow for flow in vector.flows()}
+    if s_flows.keys() != v_flows.keys():
+        raise DivergenceError(
+            context,
+            f"flow ids {sorted(s_flows)} vs {sorted(v_flows)}",
+        )
+    s_order = [flow.flow_id for flow in scalar.flows()]
+    v_order = [flow.flow_id for flow in vector.flows()]
+    if s_order != v_order:
+        raise DivergenceError(context, f"iteration order {s_order} vs {v_order}")
+    for flow_id, s_flow in s_flows.items():
+        v_flow = v_flows[flow_id]
+        if not _close(s_flow.rate_cap, v_flow.rate_cap):
+            raise DivergenceError(
+                context,
+                f"flow {flow_id} rate_cap {s_flow.rate_cap!r} vs {v_flow.rate_cap!r}",
+            )
+        if not _close(s_flow.rate, v_flow.rate, abs_tol=1e-12):
+            raise DivergenceError(
+                context,
+                f"flow {flow_id} rate {s_flow.rate!r} vs {v_flow.rate!r}",
+            )
+    for index in range(scalar.n_links):
+        s_util = scalar.utilization(index)
+        v_util = vector.utilization(index)
+        if not _close(s_util, v_util, abs_tol=1e-12):
+            raise DivergenceError(
+                context, f"link {index} utilization {s_util!r} vs {v_util!r}"
+            )
+
+
+def validate_schedule(capacities: Sequence[float], ops: Sequence[Dict[str, Any]]) -> None:
+    """Raise ``ValueError`` unless the schedule is well-formed."""
+    if not capacities:
+        raise ValueError("differential schedule needs at least one link")
+    if len(capacities) > 64:
+        raise ValueError("too many links (max 64)")
+    for capacity in capacities:
+        if not isinstance(capacity, (int, float)) or not math.isfinite(capacity):
+            raise ValueError(f"non-finite link capacity {capacity!r}")
+        if capacity <= 0:
+            raise ValueError(f"non-positive link capacity {capacity!r}")
+    if len(ops) > 2048:
+        raise ValueError("too many ops (max 2048)")
+    for index, op in enumerate(ops):
+        if not isinstance(op, dict) or "op" not in op:
+            raise ValueError(f"op {index}: not a dict with an 'op' key")
+        kind = op["op"]
+        if kind == "arrive":
+            links = op.get("links")
+            if not isinstance(links, (list, tuple)):
+                raise ValueError(f"op {index}: arrive needs a links list")
+            for link in links:
+                if not isinstance(link, int) or not 0 <= link < len(capacities):
+                    raise ValueError(f"op {index}: bad link index {link!r}")
+            size = op.get("size")
+            if not isinstance(size, (int, float)) or not size > 0:
+                raise ValueError(f"op {index}: bad flow size {size!r}")
+            cap = op.get("cap")
+            if cap is not None and (not isinstance(cap, (int, float)) or not cap > 0):
+                raise ValueError(f"op {index}: bad rate cap {cap!r}")
+        elif kind == "abort":
+            flow = op.get("flow")
+            if not isinstance(flow, int) or flow < 0:
+                raise ValueError(f"op {index}: bad abort target {flow!r}")
+        elif kind == "advance":
+            idle = op.get("idle")
+            if idle is not None and (
+                not isinstance(idle, (int, float)) or idle < 0 or not math.isfinite(idle)
+            ):
+                raise ValueError(f"op {index}: bad idle step {idle!r}")
+        else:
+            raise ValueError(f"op {index}: unknown op kind {kind!r}")
+
+
+def run_schedule(
+    capacities: Sequence[float],
+    ops: Sequence[Dict[str, Any]],
+    regime: str = "adaptive",
+    vector_factory: Optional[VectorFactory] = None,
+    label: str = "",
+) -> LockstepReport:
+    """Execute the schedule on both engines in lockstep.
+
+    Raises :class:`DivergenceError` at the first observable mismatch and
+    ``ValueError`` for a malformed schedule; returns a
+    :class:`LockstepReport` otherwise.
+    """
+    validate_schedule(capacities, ops)
+    if regime not in ENGINE_REGIMES:
+        raise ValueError(
+            f"unknown regime {regime!r}; choices: {', '.join(sorted(ENGINE_REGIMES))}"
+        )
+    factory = vector_factory or VectorizedFlowNetwork
+    scalar = FlowNetwork()
+    vector = factory(**ENGINE_REGIMES[regime])
+    for index, capacity in enumerate(capacities):
+        s_index = scalar.add_link(("l", index), float(capacity))
+        v_index = vector.add_link(("l", index), float(capacity))
+        if s_index != index or v_index != index:
+            raise DivergenceError(
+                f"{label} link={index}", f"link ids {s_index} vs {v_index}"
+            )
+    report = LockstepReport(vector=vector)
+    now = 0.0
+    for step, op in enumerate(ops):
+        context = f"{label} step={step} op={op['op']} t={now:.6f}"
+        kind = op["op"]
+        if kind == "arrive":
+            links = list(op["links"])
+            cap = op.get("cap")
+            s_flow = scalar.start_flow(
+                links, op["size"], meta=("m", step), rate_cap=cap
+            )
+            v_flow = vector.start_flow(
+                links, op["size"], meta=("m", step), rate_cap=cap
+            )
+            if s_flow.flow_id != v_flow.flow_id:
+                raise DivergenceError(
+                    context, f"flow ids {s_flow.flow_id} vs {v_flow.flow_id}"
+                )
+            report.arrivals += 1
+            if cap is not None:
+                report.capped_flows += 1
+            if not links:
+                report.linkless_flows += 1
+        elif kind == "abort":
+            victim = op["flow"]
+            s_gone = scalar.abort_flow(victim)
+            v_gone = vector.abort_flow(victim)
+            if (s_gone is None) != (v_gone is None):
+                raise DivergenceError(
+                    context, f"abort returned {s_gone!r} vs {v_gone!r}"
+                )
+            if s_gone is not None:
+                if s_gone.flow_id != v_gone.flow_id:
+                    raise DivergenceError(
+                        context,
+                        f"aborted ids {s_gone.flow_id} vs {v_gone.flow_id}",
+                    )
+                if not _close(s_gone.remaining_mbit, v_gone.remaining_mbit, abs_tol=1e-9):
+                    raise DivergenceError(
+                        context,
+                        "aborted remaining "
+                        f"{s_gone.remaining_mbit!r} vs {v_gone.remaining_mbit!r}",
+                    )
+            report.aborts += 1
+        else:  # advance
+            idle = op.get("idle")
+            target = scalar.next_completion()
+            if idle is not None or target is None:
+                target = now + (idle if idle is not None else 0.0)
+            target = max(target, now)
+            scalar.advance(target)
+            vector.advance(target)
+            now = target
+            s_done = scalar.pop_finished()
+            v_done = vector.pop_finished()
+            if [flow.flow_id for flow in s_done] != [flow.flow_id for flow in v_done]:
+                raise DivergenceError(
+                    context,
+                    "pop order "
+                    f"{[f.flow_id for f in s_done]} vs {[f.flow_id for f in v_done]}",
+                )
+            report.advances += 1
+            report.pops += len(s_done)
+        _compare(scalar, vector, context)
+        report.steps += 1
+        report.op_kinds.append(kind)
+    return report
+
+
+def random_schedule(
+    seed: int,
+    n_events: int = 80,
+    n_links: Optional[int] = None,
+) -> Tuple[List[float], List[Dict[str, Any]]]:
+    """Generate the randomized schedule the differential tests sweep.
+
+    Mirrors the historical in-test generator: ~55% arrivals over random
+    link subsets (occasionally linkless, half rate-capped), ~15% aborts
+    of a live flow, the rest advance-and-pop steps (20% of which take a
+    random idle step instead of jumping to the next completion).
+    """
+    rng = random.Random(seed)
+    links = n_links if n_links is not None else rng.randint(3, 12)
+    capacities = [rng.uniform(1.0, 50.0) for _ in range(links)]
+    ops: List[Dict[str, Any]] = []
+    live: List[int] = []
+    next_flow_id = 0
+    for _ in range(n_events):
+        action = rng.random()
+        if action < 0.55 or not live:
+            k = rng.randint(0, min(4, links))
+            subset = rng.sample(range(links), k)
+            size = rng.uniform(0.5, 8.0)
+            cap = rng.uniform(0.5, 30.0) if rng.random() < 0.5 else None
+            ops.append({"op": "arrive", "links": subset, "size": size, "cap": cap})
+            live.append(next_flow_id)
+            next_flow_id += 1
+        elif action < 0.70:
+            victim = rng.choice(live)
+            ops.append({"op": "abort", "flow": victim})
+            live.remove(victim)
+        else:
+            idle = rng.uniform(0.0, 1.0) if rng.random() < 0.2 else None
+            ops.append({"op": "advance", "idle": idle})
+            # The generator cannot know which flows complete at this
+            # advance; aborts of already-popped flows are harmless no-ops
+            # in both engines, so the live list is only pruned on aborts.
+    return capacities, ops

@@ -193,6 +193,12 @@ def _run_lint(args: argparse.Namespace, out) -> int:
     return run_lint(args, out=out)
 
 
+def _run_fuzz(args: argparse.Namespace, out) -> int:
+    from repro.fuzz.cli import run_fuzz
+
+    return run_fuzz(args, out=out)
+
+
 def _run_chaos(args: argparse.Namespace, out) -> int:
     from repro.simulator.chaos import ChaosSchedule, format_chaos, run_chaos
 
@@ -222,6 +228,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "telemetry": _run_telemetry,
     "lint": _run_lint,
     "chaos": _run_chaos,
+    "fuzz": _run_fuzz,
 }
 
 
@@ -287,6 +294,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="restart the crashed portal without its state store "
         "(demonstrates the amnesiac-restart violations the store prevents)",
     )
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzer over the chaos, differential, "
+        "and view-validation oracles; exits non-zero on any finding",
+    )
+    from repro.fuzz.cli import add_fuzz_arguments
+
+    add_fuzz_arguments(fuzz)
     lint = sub.add_parser(
         "lint", help="run p4plint, the AST-based invariant checker"
     )

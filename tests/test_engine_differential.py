@@ -1,160 +1,52 @@
 """Differential harness: scalar vs vectorized flow engines in lockstep.
 
-Both engines receive the identical randomized event schedule -- flow
-arrivals (including linkless and rate-capped flows), completions popped at
-the quantized next-completion time, mid-flight aborts, and idle clock
-advances -- and after every event the full observable state is compared:
-per-flow rates and remaining sizes, next completion time, pop order, and
-per-link utilization.
-
-Three vectorized configurations are exercised so every solve path is
-covered: the default adaptive policy, a dirty limit of zero (every solve
-falls back to the full vector path), and an unbounded limit (every solve
-takes the incremental component path).  Entry-store compaction is reached
-through the churn the schedules generate.
+The oracle implementation lives in :mod:`repro.simulator.differential`
+(shared with the scenario fuzzer); this module sweeps it over randomized
+schedules so every solve path is covered: the default adaptive policy, a
+dirty limit of zero (every solve falls back to the full vector path),
+and an unbounded limit (every solve takes the incremental component
+path).  Entry-store compaction is reached through the churn the
+schedules generate.
 """
 
 import random
 
-import numpy as np
 import pytest
 
+from repro.simulator.differential import (
+    DivergenceError,
+    ENGINE_REGIMES,
+    random_schedule,
+    run_schedule,
+    validate_schedule,
+)
 from repro.simulator.tcp import FlowNetwork, VectorizedFlowNetwork
-
-# (label, constructor kwargs): each forces one solve regime.
-CONFIGS = {
-    "adaptive": {},
-    "full-only": {"dirty_flow_floor": 1, "dirty_flow_fraction": 0.0},
-    "incremental-only": {"dirty_flow_floor": 10**9},
-}
 
 N_SEEDS = 60
 N_EVENTS = 80
 
 
-def _build_pair(rng, config_kwargs):
-    scalar = FlowNetwork()
-    vector = VectorizedFlowNetwork(**config_kwargs)
-    n_links = rng.randint(3, 12)
-    for index in range(n_links):
-        capacity = rng.uniform(1.0, 50.0)
-        assert scalar.add_link(("l", index), capacity) == index
-        assert vector.add_link(("l", index), capacity) == index
-    return scalar, vector, n_links
+def _run_lockstep(seed, regime, n_events=N_EVENTS):
+    capacities, ops = random_schedule(seed, n_events=n_events)
+    report = run_schedule(capacities, ops, regime=regime, label=f"seed={seed}")
+    assert report.steps == n_events
+    return report.vector
 
 
-def _assert_state_matches(scalar, vector, context):
-    assert scalar.n_flows == vector.n_flows, context
-    s_flows = {f.flow_id: f for f in scalar.flows()}
-    v_flows = {f.flow_id: f for f in vector.flows()}
-    assert s_flows.keys() == v_flows.keys(), context
-    # Identical iteration order (ascending flow id in both engines).
-    assert [f.flow_id for f in scalar.flows()] == [
-        f.flow_id for f in vector.flows()
-    ], context
-    s_next = scalar.next_completion()
-    v_next = vector.next_completion()
-    if s_next is None:
-        assert v_next is None, context
-    else:
-        assert v_next == pytest.approx(s_next, rel=1e-9, abs=1e-9), context
-    # next_completion() forced a solve in both engines: flow objects carry
-    # fresh rates after the flush below.
-    for flow_id, s_flow in s_flows.items():
-        v_flow = v_flows[flow_id]
-        if np.isinf(s_flow.rate_cap):
-            assert np.isinf(v_flow.rate_cap), context
-        else:
-            assert v_flow.rate_cap == s_flow.rate_cap, context
-
-
-def _assert_rates_match(scalar, vector, context):
-    scalar.next_completion()  # force solve
-    vector.next_completion()
-    scalar._flush()
-    vector._flush()
-    s_rates = {f.flow_id: f.rate for f in scalar.flows()}
-    for v_flow in vector.flows():
-        s_rate = s_rates[v_flow.flow_id]
-        if np.isinf(s_rate):
-            assert np.isinf(v_flow.rate), context
-        else:
-            assert v_flow.rate == pytest.approx(
-                s_rate, rel=1e-9, abs=1e-12
-            ), context
-    for index in range(scalar.n_links):
-        assert vector.utilization(index) == pytest.approx(
-            scalar.utilization(index), rel=1e-9, abs=1e-12
-        ), context
-
-
-def _run_lockstep(seed, config_kwargs, n_events=N_EVENTS):
-    rng = random.Random(seed)
-    scalar, vector, n_links = _build_pair(rng, config_kwargs)
-    now = 0.0
-    live = []
-    solved_events = 0
-    for step in range(n_events):
-        context = f"seed={seed} step={step} t={now:.6f}"
-        action = rng.random()
-        if action < 0.55 or not live:
-            # Arrival: random link subset; occasionally linkless; half capped.
-            k = rng.randint(0, min(4, n_links))
-            links = rng.sample(range(n_links), k)
-            size = rng.uniform(0.5, 8.0)
-            cap = rng.uniform(0.5, 30.0) if rng.random() < 0.5 else None
-            s_flow = scalar.start_flow(links, size, meta=("m", step), rate_cap=cap)
-            v_flow = vector.start_flow(links, size, meta=("m", step), rate_cap=cap)
-            assert v_flow.flow_id == s_flow.flow_id, context
-            live.append(s_flow.flow_id)
-        elif action < 0.70 and live:
-            victim = rng.choice(live)
-            s_gone = scalar.abort_flow(victim)
-            v_gone = vector.abort_flow(victim)
-            assert (s_gone is None) == (v_gone is None), context
-            if s_gone is not None:
-                assert v_gone.flow_id == s_gone.flow_id, context
-                assert v_gone.remaining_mbit == pytest.approx(
-                    s_gone.remaining_mbit, rel=1e-9, abs=1e-9
-                ), context
-            live.remove(victim)
-        else:
-            # Advance to the next completion (or a random idle step) and pop.
-            target = scalar.next_completion()
-            if target is None or rng.random() < 0.2:
-                target = now + rng.uniform(0.0, 1.0)
-            target = max(target, now)
-            scalar.advance(target)
-            vector.advance(target)
-            now = target
-            s_done = scalar.pop_finished()
-            v_done = vector.pop_finished()
-            assert [f.flow_id for f in v_done] == [
-                f.flow_id for f in s_done
-            ], context
-            for popped in s_done:
-                live.remove(popped.flow_id)
-        _assert_rates_match(scalar, vector, context)
-        _assert_state_matches(scalar, vector, context)
-        solved_events += 1
-    assert solved_events == n_events
-    return vector
-
-
-@pytest.mark.parametrize("config", sorted(CONFIGS))
+@pytest.mark.parametrize("regime", sorted(ENGINE_REGIMES))
 @pytest.mark.parametrize("seed", range(N_SEEDS))
-def test_lockstep_schedule_matches(seed, config):
-    _run_lockstep(seed, CONFIGS[config])
+def test_lockstep_schedule_matches(seed, regime):
+    _run_lockstep(seed, regime)
 
 
 def test_incremental_path_actually_taken():
     """The incremental-only config must not silently full-solve everything."""
-    vector = _run_lockstep(1234, CONFIGS["incremental-only"], n_events=120)
+    vector = _run_lockstep(1234, "incremental-only", n_events=120)
     assert vector.stats.incremental_solves > 0
     # The full-biased config must exercise the vector full path almost
     # exclusively (a dirty limit of one still admits single-flow
     # components, so a handful of incremental solves are expected).
-    vector = _run_lockstep(1234, CONFIGS["full-only"], n_events=120)
+    vector = _run_lockstep(1234, "full-only", n_events=120)
     assert vector.stats.full_solves > 0
     assert vector.stats.full_solves > 10 * max(vector.stats.incremental_solves, 1)
 
@@ -171,6 +63,52 @@ def test_compaction_exercised_under_churn():
         vector.next_completion()
         vector.abort_flow(flow.flow_id)
     assert vector.stats.compactions > 0
+
+
+def test_divergence_error_carries_context():
+    """A broken vectorized engine is caught with a located, labeled error."""
+
+    class _CapDropping(VectorizedFlowNetwork):
+        def start_flow(self, links, size, meta=None, rate_cap=None):
+            return super().start_flow(links, size, meta=meta, rate_cap=None)
+
+    capacities = [20.0]
+    ops = [
+        {"op": "arrive", "links": [0], "size": 4.0, "cap": 1.0},
+        {"op": "advance", "idle": None},
+    ]
+    with pytest.raises(DivergenceError) as excinfo:
+        run_schedule(capacities, ops, vector_factory=_CapDropping, label="planted")
+    assert "planted" in str(excinfo.value)
+    assert excinfo.value.context.startswith("planted step=0")
+    assert excinfo.value.detail
+
+
+def test_malformed_schedules_rejected():
+    with pytest.raises(ValueError):
+        validate_schedule([], [])
+    with pytest.raises(ValueError):
+        validate_schedule([5.0], [{"op": "arrive", "links": [3], "size": 1.0}])
+    with pytest.raises(ValueError):
+        validate_schedule([5.0], [{"op": "arrive", "links": [0], "size": -1.0}])
+    with pytest.raises(ValueError):
+        validate_schedule([5.0], [{"op": "teleport"}])
+    with pytest.raises(ValueError):
+        run_schedule([5.0], [], regime="warp-speed")
+
+
+def test_abort_of_missing_flow_is_a_noop_in_both_engines():
+    """Minimized schedules may abort dropped flows; both engines agree."""
+    capacities = [10.0]
+    ops = [
+        {"op": "abort", "flow": 7},
+        {"op": "arrive", "links": [0], "size": 2.0, "cap": None},
+        {"op": "abort", "flow": 7},
+        {"op": "advance", "idle": None},
+    ]
+    report = run_schedule(capacities, ops)
+    assert report.aborts == 2
+    assert report.pops == 1
 
 
 def test_full_solve_bit_identical_to_scalar():

@@ -1,0 +1,66 @@
+"""Replay every checked-in fuzz fixture under ``tests/fixtures/fuzz/``.
+
+Each fixture is a minimized failing scenario the fuzzer once found,
+serialized with the failure signature it must (or must no longer)
+produce:
+
+* a fixture whose ``plants`` list is non-empty documents the fuzzing
+  pipeline itself -- the plant is a deliberate, permanently-available
+  regression hook, so replaying the fixture must still reproduce the
+  expected failure;
+* a fixture with no plants documents a *fixed* organic bug -- replaying
+  it must NOT reproduce (if it does, the bug is back).
+
+New fixtures land here automatically: copy any file from a fuzz run's
+``findings/`` directory into ``tests/fixtures/fuzz/`` and this module
+picks it up by glob -- no test edits needed.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz import load_fixture, replay_fixture
+
+pytestmark = pytest.mark.fuzz
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures", "fuzz")
+FIXTURE_PATHS = sorted(glob.glob(os.path.join(FIXTURE_DIR, "*.json")))
+
+
+def test_fixture_directory_is_seeded():
+    """The suite must never silently run against zero fixtures."""
+    assert FIXTURE_PATHS, f"no fuzz fixtures found under {FIXTURE_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", FIXTURE_PATHS, ids=[os.path.basename(p) for p in FIXTURE_PATHS]
+)
+def test_fixture_replays(path):
+    fixture = load_fixture(path)
+    reproduced, outcome = replay_fixture(fixture)
+    oracle, kind = fixture.expect
+    if fixture.plants:
+        assert reproduced, (
+            f"planted fixture no longer reproduces {oracle}/{kind}; "
+            f"observed {[f.signature for f in outcome.failures]} -- did the "
+            f"plant hook in repro.fuzz.executor change?"
+        )
+    else:
+        assert not reproduced, (
+            f"fixed bug is back: {oracle}/{kind} reproduced from {path}; "
+            f"detail: {[f.detail for f in outcome.failures]}"
+        )
+
+
+@pytest.mark.parametrize(
+    "path", FIXTURE_PATHS, ids=[os.path.basename(p) for p in FIXTURE_PATHS]
+)
+def test_fixture_spec_round_trips(path):
+    """Fixtures stay loadable and canonical even as the spec layer grows."""
+    fixture = load_fixture(path)
+    from repro.fuzz import ScenarioSpec
+
+    assert ScenarioSpec.from_json(fixture.spec.to_json()) == fixture.spec
+    assert fixture.expect[0] in ("differential", "chaos", "view", "universal")
