@@ -21,6 +21,15 @@ all instrumented modules already follow.  Label tuples may be a literal,
 a conditional between literals, or a local variable assigned only such
 values in the same scope (simple constant propagation); anything the
 rule cannot statically enumerate is a finding.
+
+Trace **span names** get the same treatment as metric names: every span
+started through a trace buffer (receiver ending in ``traces``, methods
+``start``/``span``) or a tracer (receiver ending in ``tracer``, methods
+``start_trace``/``start_child``/``trace``) must pass a string-literal
+name drawn from the declared span catalog below.  Span names are join
+keys for the trace assembler, the dashboard's convergence plot, and the
+golden trace exports -- an undeclared or dynamic name silently falls out
+of all three.
 """
 
 from __future__ import annotations
@@ -59,10 +68,33 @@ DECLARED_LABELS = frozenset(
         "endpoint",  # failover endpoint index (bounded by the configured list)
         "status",  # integrator portal health (PortalStatus: ok/stale/unavailable)
         "oracle",  # fuzzer oracle names (differential/chaos/view/universal)
+        "slo",  # declared SLO names (DEFAULT_PORTAL_SLOS and test SLOs)
+    }
+)
+
+#: The declared span catalog: every span started anywhere in the tree
+#: must use one of these names (DESIGN.md, "Distributed tracing & SLOs").
+DECLARED_SPANS = frozenset(
+    {
+        "chaos.tick",  # one chaos-harness scheduler tick
+        "client.call",  # one PortalClient RPC (root of client traces)
+        "failover.get_view",  # multi-endpoint failover view fetch
+        "itracker.handle",  # server-side method handler execution
+        "itracker.price_update",  # one dynamic price-update step
+        "portal.dispatch",  # server-side request dispatch
+        "replica.sync",  # standby replica delta pull
+        "resilient.fetch",  # fetch+validate of one fresh view
+        "resilient.get_view",  # resilient view fetch incl. stale fallback
     }
 )
 
 _FACTORY_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: ``<receiver suffix> -> span-starting method names`` for the span check.
+_SPAN_METHODS = {
+    "traces": frozenset({"start", "span"}),
+    "tracer": frozenset({"start_trace", "start_child", "trace"}),
+}
 
 
 class TelemetryNamingRule(Rule):
@@ -89,17 +121,19 @@ class TelemetryNamingRule(Rule):
                 if not isinstance(node, ast.Call):
                     continue
                 func = node.func
-                if not (
-                    isinstance(func, ast.Attribute)
-                    and func.attr in _FACTORY_METHODS
-                ):
+                if not isinstance(func, ast.Attribute):
                     continue
                 receiver = dotted_name(func.value)
-                if receiver is None or not receiver.split(".")[-1].endswith(
-                    "registry"
-                ):
+                if receiver is None:
                     continue
-                yield from self._check_call(module, node, func.attr, assigns)
+                tail = receiver.split(".")[-1]
+                if func.attr in _FACTORY_METHODS and tail.endswith("registry"):
+                    yield from self._check_call(module, node, func.attr, assigns)
+                    continue
+                for suffix, methods in _SPAN_METHODS.items():
+                    if tail.endswith(suffix) and func.attr in methods:
+                        yield from self._check_span(module, node, func.attr)
+                        break
 
     def _scope_assigns(self, scope: ast.AST) -> Dict[str, List[ast.AST]]:
         """Simple-name assignments directly in one scope (no nesting)."""
@@ -144,6 +178,29 @@ class TelemetryNamingRule(Rule):
                 union.extend(label for label in resolved if label not in union)
             return union
         return None
+
+    def _check_span(
+        self, module: Module, node: ast.Call, method: str
+    ) -> Iterator[Finding]:
+        name_node = self._name_argument(node)
+        if name_node is None:
+            return
+        name = literal_str(name_node)
+        if name is None:
+            yield self.finding(
+                module,
+                node,
+                f"span name passed to .{method}() must be a string literal "
+                "so the span catalog is statically auditable",
+            )
+            return
+        if name not in DECLARED_SPANS:
+            yield self.finding(
+                module,
+                node,
+                f"span name {name!r} is not in the declared span catalog "
+                "(add it to DECLARED_SPANS, or reuse an existing span name)",
+            )
 
     def _name_argument(self, node: ast.Call) -> Optional[ast.AST]:
         if node.args:

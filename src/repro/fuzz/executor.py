@@ -507,6 +507,12 @@ class Executor:
                 len(result.baseline.completion_times),
                 len(result.chaotic.completion_times),
             ],
+            # The first invariant-violating tick's causal trace tree (all
+            # spans run on the simulation clock, so this is deterministic
+            # and digest-safe); None when no invariant tripped.
+            "violation_trace": (
+                result.violation_traces[0] if result.violation_traces else None
+            ),
         }
         stats["chaos"] = local
 

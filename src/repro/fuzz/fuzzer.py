@@ -53,7 +53,10 @@ from repro.fuzz.spec import (
     WorkloadSpec,
 )
 
-FIXTURE_FORMAT = "p4p-fuzz-fixture/1"
+#: Format written for new fixtures.  /2 added the optional ``trace`` key
+#: (the violating tick's causal trace tree); /1 fixtures stay loadable.
+FIXTURE_FORMAT = "p4p-fuzz-fixture/2"
+FIXTURE_FORMATS = ("p4p-fuzz-fixture/1", "p4p-fuzz-fixture/2")
 
 
 @dataclass(frozen=True)
@@ -89,9 +92,13 @@ class Finding:
     iteration: int
     confirmed: bool
     minimizer_executions: int
+    #: Causal trace tree of the first invariant-violating tick observed
+    #: while confirming the failure (chaos oracle only; None otherwise) --
+    #: the minimized reproducer ships with its own causal explanation.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_fixture(self, config: FuzzConfig) -> Dict[str, Any]:
-        return {
+        document = {
             "format": FIXTURE_FORMAT,
             "spec": self.minimized.to_json(),
             "expect": {"oracle": self.failure.oracle, "kind": self.failure.kind},
@@ -104,6 +111,9 @@ class Finding:
                 "detail": self.failure.detail,
             },
         }
+        if self.trace is not None:
+            document["trace"] = self.trace
+        return document
 
 
 @dataclass
@@ -364,6 +374,7 @@ class Fuzzer:
             minimized = result.spec
             executions = result.executions
             self._minimizer_executions.inc(result.executions)
+        trace = confirmation.stats.get("chaos", {}).get("violation_trace")
         return Finding(
             failure=failure,
             spec=spec,
@@ -371,6 +382,7 @@ class Fuzzer:
             iteration=iteration,
             confirmed=confirmed,
             minimizer_executions=executions,
+            trace=trace,
         )
 
     # -- persistence -----------------------------------------------------------
@@ -418,19 +430,28 @@ class Fixture:
     expect: Tuple[str, str]
     plants: Tuple[str, ...]
     provenance: Dict[str, Any]
+    #: Optional attached causal trace tree (format /2); replay ignores it
+    #: (the expect signature is what replays assert), it exists for humans
+    #: debugging the fixture.
+    trace: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_json(cls, document: Any) -> "Fixture":
         if not isinstance(document, dict):
             raise ValueError("fixture must be an object")
-        if document.get("format") != FIXTURE_FORMAT:
+        if document.get("format") not in FIXTURE_FORMATS:
             raise ValueError(
                 f"unsupported fixture format {document.get('format')!r}; "
-                f"expected {FIXTURE_FORMAT!r}"
+                f"expected one of {FIXTURE_FORMATS!r}"
             )
-        unknown = set(document) - {"format", "spec", "expect", "plants", "provenance"}
+        unknown = set(document) - {
+            "format", "spec", "expect", "plants", "provenance", "trace",
+        }
         if unknown:
             raise ValueError(f"fixture has unknown keys {sorted(unknown)}")
+        trace = document.get("trace")
+        if trace is not None and not isinstance(trace, dict):
+            raise ValueError("fixture trace must be an object when present")
         expect = document.get("expect")
         if (
             not isinstance(expect, dict)
@@ -449,6 +470,7 @@ class Fixture:
             expect=(expect["oracle"], expect["kind"]),
             plants=tuple(plants),
             provenance=dict(document.get("provenance") or {}),
+            trace=trace,
         )
 
 

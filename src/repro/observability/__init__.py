@@ -23,7 +23,23 @@ from repro.observability.registry import (
     NULL_REGISTRY,
     NullRegistry,
 )
-from repro.observability.tracing import NullTraceBuffer, Span, TraceBuffer
+from repro.observability.tracing import (
+    NullTraceBuffer,
+    Span,
+    TraceBuffer,
+    TraceContext,
+    Tracer,
+)
+from repro.observability.assembler import (
+    assemble_traces,
+    canonical_json,
+    critical_path,
+    export_document,
+    export_traces,
+    format_trace_tree,
+    slowest,
+)
+from repro.observability.slo import DEFAULT_PORTAL_SLOS, SLO, SLOTracker
 from repro.observability.export import (
     PROMETHEUS_CONTENT_TYPE,
     flatten_snapshot,
@@ -46,6 +62,18 @@ from repro.observability.dashboard import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_PORTAL_SLOS",
+    "SLO",
+    "SLOTracker",
+    "TraceContext",
+    "Tracer",
+    "assemble_traces",
+    "canonical_json",
+    "critical_path",
+    "export_document",
+    "export_traces",
+    "format_trace_tree",
+    "slowest",
     "Gauge",
     "Histogram",
     "MetricError",

@@ -1,0 +1,197 @@
+"""Merge per-process trace buffers into causal trace trees.
+
+Each process (client, portal, replica) records spans into its own
+:class:`~repro.observability.tracing.TraceBuffer` under a distinct
+*namespace*.  Parent links come in two flavours:
+
+* **local** -- ``parent_id`` is a span id in the *same* buffer; the
+  qualified ref is ``"<namespace>:<parent_id>"``;
+* **remote** -- the ``remote_parent`` attribute holds an already
+  qualified ref written by ``Tracer.start_child`` from the wire-level
+  :class:`~repro.observability.tracing.TraceContext`.
+
+:func:`assemble_traces` joins both into trees; only spans that belong to
+a distributed trace (``trace_id`` is set) participate -- flat
+process-local spans (convergence traces, etc.) are left alone.
+
+The export format is deterministic: children are sorted by
+``(start, name, ref)``, roots by ``(trace_id, start, ref)``, and
+:func:`canonical_json` emits sorted-key, fixed-indent JSON -- two seeded
+runs of the same scenario must produce bit-identical exports (CI diffs
+them).
+
+Export policy (head sampling + always-on-error): :func:`export_traces`
+keeps a tree when its root was sampled *or* any span in the tree carries
+an ``error`` attribute, so failure traces survive even at low sample
+rates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+EXPORT_FORMAT = "p4p-trace-export/1"
+
+
+def _as_wire(span: Any) -> Dict[str, Any]:
+    if isinstance(span, dict):
+        return span
+    return span.to_wire()
+
+
+def _node(namespace: str, span: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "name": span["name"],
+        "ref": f"{namespace}:{span['span_id']}",
+        "trace_id": span["trace_id"],
+        "start": span["start"],
+        "end": span["end"],
+        "duration": span["duration"],
+        "attributes": dict(span.get("attributes", {})),
+        "events": [dict(event) for event in span.get("events", [])],
+        "children": [],
+    }
+
+
+def assemble_traces(buffers: Mapping[str, Iterable[Any]]) -> List[Dict[str, Any]]:
+    """Join spans from namespaced buffers into sorted causal trees.
+
+    ``buffers`` maps namespace -> iterable of spans (``Span`` objects or
+    their ``to_wire()`` dicts).  Returns the list of root nodes; a span
+    whose parent ref is missing from the input (evicted from its ring,
+    never exported) becomes a root of its own subtree rather than being
+    dropped.
+    """
+    nodes: Dict[str, Dict[str, Any]] = {}
+    parents: Dict[str, Optional[str]] = {}
+    for namespace, spans in buffers.items():
+        for raw in spans:
+            span = _as_wire(raw)
+            if span.get("trace_id") is None:
+                continue
+            node = _node(namespace, span)
+            nodes[node["ref"]] = node
+            parent_id = span.get("parent_id")
+            if parent_id is not None:
+                parents[node["ref"]] = f"{namespace}:{parent_id}"
+            else:
+                remote = span.get("attributes", {}).get("remote_parent")
+                parents[node["ref"]] = remote if isinstance(remote, str) else None
+
+    roots: List[Dict[str, Any]] = []
+    for ref, node in nodes.items():
+        parent_ref = parents[ref]
+        parent = nodes.get(parent_ref) if parent_ref is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+
+    def child_key(node: Dict[str, Any]) -> Tuple[Any, ...]:
+        return (node["start"], node["name"], node["ref"])
+
+    def sort_children(node: Dict[str, Any]) -> None:
+        node["children"].sort(key=child_key)
+        for child in node["children"]:
+            sort_children(child)
+
+    for root in roots:
+        sort_children(root)
+    roots.sort(key=lambda node: (node["trace_id"], node["start"], node["ref"]))
+    return roots
+
+
+def _walk(node: Dict[str, Any]):
+    yield node
+    for child in node["children"]:
+        yield from _walk(child)
+
+
+def tree_has_error(tree: Dict[str, Any]) -> bool:
+    return any("error" in node["attributes"] for node in _walk(tree))
+
+
+def export_traces(trees: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Apply the sampling policy: keep sampled trees and all error trees."""
+    kept = []
+    for tree in trees:
+        if tree["attributes"].get("sampled", True) or tree_has_error(tree):
+            kept.append(tree)
+    return kept
+
+
+def export_document(trees: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    return {"format": EXPORT_FORMAT, "traces": list(trees)}
+
+
+def canonical_json(document: Any) -> str:
+    """Deterministic serialization: sorted keys, fixed indent, one trailing
+    newline -- suitable for bit-for-bit diffing across runs."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def critical_path(tree: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Follow, from the root down, the child that finishes last -- the
+    chain of spans that bounded the end-to-end latency."""
+    path = [tree]
+    node = tree
+    while node["children"]:
+        node = max(
+            node["children"],
+            key=lambda child: (
+                child["end"] if child["end"] is not None else child["start"],
+                child["ref"],
+            ),
+        )
+        path.append(node)
+    return path
+
+
+def slowest(trees: Iterable[Dict[str, Any]], n: int = 5) -> List[Dict[str, Any]]:
+    """The ``n`` trees with the largest root duration, slowest first."""
+    ranked = sorted(
+        trees,
+        key=lambda tree: (
+            -(tree["duration"] if tree["duration"] is not None else 0.0),
+            tree["trace_id"],
+            tree["ref"],
+        ),
+    )
+    return ranked[: max(0, n)]
+
+
+def format_trace_tree(tree: Dict[str, Any]) -> str:
+    """ASCII rendering of one causal tree (the ``p4p-repro trace`` view)."""
+    lines: List[str] = []
+
+    def describe(node: Dict[str, Any]) -> str:
+        duration = node["duration"]
+        timing = f"{duration * 1000.0:.3f}ms" if duration is not None else "open"
+        extras = []
+        for key in sorted(node["attributes"]):
+            if key in ("sampled", "remote_parent"):
+                continue
+            extras.append(f"{key}={node['attributes'][key]}")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        return f"{node['name']} ({node['ref']}, {timing}){suffix}"
+
+    def render(node: Dict[str, Any], prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(describe(node))
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + describe(node))
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        for event in node["events"]:
+            attrs = event.get("attributes", {})
+            detail = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+            suffix = f" ({detail})" if detail else ""
+            lines.append(child_prefix + f"  * {event['name']} @ {event['time']:.3f}{suffix}")
+        children = node["children"]
+        for index, child in enumerate(children):
+            render(child, child_prefix, index == len(children) - 1, False)
+
+    render(tree, "", True, True)
+    return "\n".join(lines)

@@ -5,7 +5,8 @@ Consumes the JSON document served by the portal's ``get_metrics`` method
 snapshot`) and renders the operator view the ``repro telemetry`` CLI
 subcommand prints: per-method request rates, latency percentiles from the
 histogram buckets, the price-update convergence trace (plotted with
-:func:`repro.metrics.ascii_plot.ascii_plot`), and resilience counters.
+:func:`repro.metrics.ascii_plot.ascii_plot`), SLO burn rates with
+remaining error budget, and resilience counters.
 """
 
 from __future__ import annotations
@@ -142,6 +143,27 @@ def render_resilience_counters(snapshot: Mapping[str, Any]) -> List[str]:
     return lines or ["  (no resilience counters registered)"]
 
 
+def render_slo_table(snapshot: Mapping[str, Any]) -> List[str]:
+    """Burn rate and remaining error budget per declared SLO.
+
+    Burn rate reads as "how many times faster than sustainable is the
+    error budget being spent" -- 1.0 burns exactly the budget the
+    objective allows, above 1.0 the budget runs out early.
+    """
+    burn = _samples_by_label(_metric(snapshot, "p4p_slo_burn_rate"), "slo")
+    budget = _samples_by_label(
+        _metric(snapshot, "p4p_slo_error_budget_remaining"), "slo"
+    )
+    if not burn:
+        return ["  (no SLOs declared)"]
+    lines = [f"  {'slo':<24} {'burn rate':>10} {'budget left':>12}"]
+    for name in sorted(burn):
+        rate = float(burn[name]["value"])
+        remaining = float(budget.get(name, {}).get("value", 0.0))
+        lines.append(f"  {name:<24} {rate:>10.3f} {remaining:>11.1%}")
+    return lines
+
+
 def render_gauges(snapshot: Mapping[str, Any], prefix: str) -> List[str]:
     """All gauge series under a name prefix, one line each."""
     lines: List[str] = []
@@ -178,6 +200,8 @@ def render_dashboard(
     if sim:
         lines.append("-- simulator gauges --")
         lines.extend(sim)
+    lines.append("-- SLOs --")
+    lines.extend(render_slo_table(snapshot))
     lines.append("-- resilience --")
     lines.extend(render_resilience_counters(snapshot))
     return "\n".join(lines)

@@ -36,9 +36,12 @@ class Telemetry:
         self,
         clock: Clock = time.monotonic,
         trace_capacity: int = 2048,
+        trace_namespace: str = "local",
     ) -> None:
         self.registry = MetricsRegistry(clock=clock)
-        self.traces = TraceBuffer(capacity=trace_capacity, clock=clock)
+        self.traces = TraceBuffer(
+            capacity=trace_capacity, clock=clock, namespace=trace_namespace
+        )
 
     @property
     def clock(self) -> Clock:

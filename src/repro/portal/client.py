@@ -68,6 +68,7 @@ class PortalClient:
         port: int,
         timeout: float = 5.0,
         telemetry: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self._address = (host, port)
         self._timeout = timeout
@@ -75,6 +76,11 @@ class PortalClient:
         self._cached_view: Optional[PDistanceMap] = None
         self._cached_version: Optional[int] = None
         self._telemetry = telemetry
+        #: Optional :class:`repro.observability.Tracer`.  When set, every
+        #: RPC becomes a ``client.call`` span (continuing the caller's
+        #: active trace when one exists) and its context rides the
+        #: request frame's ``trace`` envelope to the server.
+        self.tracer = tracer
         if telemetry is not None:
             registry = telemetry.registry
             self._calls = registry.counter(
@@ -142,13 +148,32 @@ class PortalClient:
         propagates; timeouts are not retried (the server is alive but
         slow -- retrying doubles the wait for nothing).
         """
-        frame = protocol.encode_frame(protocol.request(method, **params))
+        message = protocol.request(method, **params)
+        tracer = self.tracer
+        if tracer is None:
+            return self._transact(protocol.encode_frame(message), None)
+        span = tracer.start_trace("client.call", method=method)
+        context = tracer.context_for(span)
+        if context is not None:
+            protocol.attach_trace(message, context.to_wire())
+        frame = protocol.encode_frame(message)
+        try:
+            return self._transact(frame, span)
+        except Exception as exc:
+            span.set(error=type(exc).__name__)
+            raise
+        finally:
+            tracer.buffer.finish(span)
+
+    def _transact(self, frame: bytes, span: Optional[Any]) -> Any:
         try:
             return self._roundtrip(frame)
         except PortalTimeoutError:
             raise
         except PortalTransportError:
             self._reconnect()
+            if span is not None:
+                self.tracer.buffer.add_event(span, "reconnect")
             return self._roundtrip(frame)
 
     def _roundtrip(self, frame: bytes) -> Any:

@@ -6,6 +6,15 @@ implementation uses length-prefixed JSON messages -- trivially debuggable
 and dependency-free.  A request is a JSON object with a ``method`` and
 ``params``; a response carries ``result`` or ``error``.
 
+Requests may additionally carry an optional top-level ``trace`` envelope
+(:func:`attach_trace`) -- the distributed-tracing context
+``{"trace_id", "span_ref", "sampled"}`` defined by
+:class:`repro.observability.tracing.TraceContext`.  It rides *beside*
+``params``, not inside them, so :data:`METHOD_SCHEMAS` and the API001
+lint rule are unaffected; servers that predate tracing ignore it, and a
+malformed envelope is ignored rather than rejected (tracing must never
+fail a request).
+
 Frame format: 4-byte big-endian payload length, then UTF-8 JSON.
 """
 
@@ -172,6 +181,13 @@ def validate_params(method: str, params: Dict[str, Any]) -> None:
 
 def request(method: str, **params: Any) -> Dict[str, Any]:
     return {"method": method, "params": params}
+
+
+def attach_trace(message: Dict[str, Any], envelope: Dict[str, Any]) -> Dict[str, Any]:
+    """Attach a :class:`~repro.observability.tracing.TraceContext` wire
+    document to a request message (top-level ``trace`` key)."""
+    message["trace"] = envelope
+    return message
 
 
 def ok(result: Any) -> Dict[str, Any]:

@@ -80,11 +80,13 @@ class StandbyReplica:
         timeout: float = 5.0,
         telemetry: Optional[Any] = None,
         client_factory: Callable[..., PortalClient] = PortalClient,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.follower = follower
         self.primary = primary
         self._clock = clock
         self._timeout = timeout
+        self.tracer = tracer
         self._client_factory = client_factory
         self._client: Optional[PortalClient] = None
         self.last_applied_version = -1
@@ -114,6 +116,8 @@ class StandbyReplica:
             self._client = self._client_factory(
                 *self.primary, timeout=self._timeout
             )
+            if self.tracer is not None:
+                self._client.tracer = self.tracer
         return self._client
 
     def sync(self) -> bool:
@@ -124,6 +128,12 @@ class StandbyReplica:
         keeps serving its last state while it cannot sync; staleness is
         the reader-visible signal.
         """
+        if self.tracer is None:
+            return self._sync_inner()
+        with self.tracer.trace("replica.sync", primary=f"{self.primary[0]}:{self.primary[1]}"):
+            return self._sync_inner()
+
+    def _sync_inner(self) -> bool:
         try:
             client = self._ensure_client()
             delta = client.get_state_delta(since=self.last_applied_version)
@@ -196,6 +206,7 @@ class FailoverPortalClient:
         telemetry: Optional[Any] = None,
         client_factory: Callable[..., ResilientPortalClient] = ResilientPortalClient,
         breaker_factory: Optional[Callable[[], Any]] = None,
+        tracer: Optional[Any] = None,
         **client_kwargs: Any,
     ) -> None:
         """``client_kwargs`` are forwarded to every per-endpoint client.
@@ -212,6 +223,11 @@ class FailoverPortalClient:
                 "pass breaker_factory instead"
             )
         self.endpoints: Tuple[Endpoint, ...] = tuple(endpoints)
+        self.tracer = tracer
+        if tracer is not None:
+            # Per-endpoint clients share the failover's tracer, so their
+            # retries/RPCs nest under the failover.get_view span.
+            client_kwargs = {**client_kwargs, "tracer": tracer}
         self.clients: List[ResilientPortalClient] = [
             client_factory(
                 host,
@@ -286,6 +302,11 @@ class FailoverPortalClient:
                 self.endpoints[self._active],
                 self.endpoints[index],
             )
+            if self.tracer is not None:
+                self.tracer.event(
+                    "failover",
+                    endpoint=f"{self.endpoints[index][0]}:{self.endpoints[index][1]}",
+                )
             if self._telemetry is not None:
                 self._failovers.labels(
                     endpoint=f"{self.endpoints[index][0]}:{self.endpoints[index][1]}"
@@ -304,6 +325,14 @@ class FailoverPortalClient:
         in-TTL stale view held by any endpoint; only when both phases
         come up empty does :class:`PortalUnavailable` propagate.
         """
+        if self.tracer is None:
+            return self._get_view_inner(pids)
+        with self.tracer.trace("failover.get_view"):
+            return self._get_view_inner(pids)
+
+    def _get_view_inner(
+        self, pids: Optional[Sequence[str]] = None
+    ) -> ViewSnapshot:
         last_error: Optional[PortalClientError] = None
         for index in self.ranked():
             try:

@@ -29,6 +29,7 @@ import enum
 import math
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
@@ -351,6 +352,7 @@ class ResilientPortalClient:
         rng: Optional[random.Random] = None,
         counters: Optional[Any] = None,
         client_factory: Callable[..., PortalClient] = PortalClient,
+        tracer: Optional[Any] = None,
     ) -> None:
         if stale_ttl < 0:
             raise ValueError("stale_ttl must be >= 0")
@@ -366,6 +368,11 @@ class ResilientPortalClient:
         # reproducible yet decorrelated across different portals.
         self._rng = rng if rng is not None else random.Random(f"p4p:{host}:{port}")
         self.counters = counters if counters is not None else _NullCounters()
+        #: Optional :class:`repro.observability.Tracer`: resilience
+        #: decisions (retries, backoff, breaker rejections, stale serves)
+        #: become span events on the active trace, and the underlying
+        #: :class:`PortalClient` inherits it so each RPC is a child span.
+        self.tracer = tracer
         self._client_factory = client_factory
         self._client: Optional[PortalClient] = None
         self._last_good: Optional[ViewSnapshot] = None
@@ -381,6 +388,8 @@ class ResilientPortalClient:
                 self.counters.reconnects += 1
             except OSError as exc:
                 raise PortalTransportError(f"connect failed: {exc}") from exc
+            if self.tracer is not None:
+                self._client.tracer = self.tracer
         return self._client
 
     def _discard_client(self) -> None:
@@ -405,6 +414,14 @@ class ResilientPortalClient:
     def last_good(self) -> Optional[ViewSnapshot]:
         return self._last_good
 
+    # -- tracing helpers ----------------------------------------------------
+
+    def _event(self, name: str, **attributes: Any) -> None:
+        """Record a resilience decision on the active span, if tracing."""
+        if self.tracer is not None:
+            self.tracer.event(name, **attributes)
+
+
     # -- retried invocation -------------------------------------------------
 
     def _invoke(self, operation: Callable[[PortalClient], Any]) -> Any:
@@ -415,6 +432,7 @@ class ResilientPortalClient:
         the breaker).
         """
         if not self.breaker.allow():
+            self._event("breaker-open")
             raise PortalTransportError("circuit breaker is open")
         deadline = (
             self._clock() + self.retry.overall_deadline
@@ -422,7 +440,9 @@ class ResilientPortalClient:
             else None
         )
         delays = self.retry.delays(self._rng)
+        attempt = 0
         while True:
+            attempt += 1
             try:
                 result = operation(self._ensure_client())
             except PortalTransportError as exc:
@@ -436,6 +456,8 @@ class ResilientPortalClient:
                         f"overall deadline exceeded: {exc}"
                     ) from exc
                 self.counters.retries += 1
+                self._event("retry", attempt=attempt, error=type(exc).__name__)
+                self._event("backoff", delay=delay)
                 self._sleep(delay)
                 continue
             self.breaker.record_success()
@@ -469,15 +491,23 @@ class ResilientPortalClient:
         when no fresh view can be fetched and the stale one is absent or
         past :attr:`stale_ttl`.
         """
-        try:
-            snapshot = self.fetch_fresh()
-        except PortalClientError as exc:
-            snapshot = self._stale_or_raise(exc)
-        if pids is not None:
-            snapshot = replace(
-                snapshot, view=snapshot.view.restricted_to(list(pids))
-            )
-        return snapshot
+        # Span names stay literal at the tracer call site (TEL001 audits
+        # the span catalog statically, like metric names).
+        span_cm = (
+            nullcontext()
+            if self.tracer is None
+            else self.tracer.trace("resilient.get_view")
+        )
+        with span_cm:
+            try:
+                snapshot = self.fetch_fresh()
+            except PortalClientError as exc:
+                snapshot = self._stale_or_raise(exc)
+            if pids is not None:
+                snapshot = replace(
+                    snapshot, view=snapshot.view.restricted_to(list(pids))
+                )
+            return snapshot
 
     def get_pdistances(self, pids: Optional[Sequence[str]] = None) -> PDistanceMap:
         """Drop-in :meth:`PortalClient.get_pdistances`, resilience included."""
@@ -511,13 +541,20 @@ class ResilientPortalClient:
                 raise ViewValidationError([str(exc)]) from exc
             return view, version, epoch, staleness
 
+        span_cm = (
+            nullcontext()
+            if self.tracer is None
+            else self.tracer.trace("resilient.fetch")
+        )
         try:
-            view, version, epoch, staleness = self._invoke(fetch)
-            previous = self._last_good.view if self._last_good else None
-            validate_view(view, self.validation, previous=previous)
+            with span_cm:
+                view, version, epoch, staleness = self._invoke(fetch)
+                previous = self._last_good.view if self._last_good else None
+                validate_view(view, self.validation, previous=previous)
         except ViewValidationError:
             self.counters.validation_rejections += 1
             self.breaker.record_failure()
+            self._event("validation-rejected")
             raise
         now = self._clock()
         snapshot = ViewSnapshot(
@@ -542,6 +579,7 @@ class ResilientPortalClient:
         if age > self.stale_ttl:
             return None
         self.counters.stale_serves += 1
+        self._event("stale-serve", age=age)
         return replace(self._last_good, stale=True, age=age)
 
     def _stale_or_raise(self, cause: PortalClientError) -> ViewSnapshot:

@@ -35,14 +35,26 @@ import logging
 import socket
 import socketserver
 import threading
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.capability import AccessDeniedError, CapabilityKind
 from repro.core.itracker import ITracker
 from repro.observability import (
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_PORTAL_SLOS,
+    NullTelemetry,
     PROMETHEUS_CONTENT_TYPE,
+    SLO,
+    SLOTracker,
     Telemetry,
+    TraceContext,
+    Tracer,
+)
+from repro.observability.tracing import (
+    NullTraceBuffer,
+    active_span,
+    push_active,
+    reset_active,
 )
 from repro.portal import protocol
 
@@ -95,6 +107,7 @@ class PortalServer:
         port: int = 0,
         telemetry: Optional[Telemetry] = None,
         staleness_provider: Optional[Callable[[], Optional[float]]] = None,
+        slos: Optional[Sequence[SLO]] = None,
     ):
         self.itracker = itracker
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -135,6 +148,17 @@ class PortalServer:
         self._bytes_out = registry.counter(
             "p4p_portal_frame_bytes_total", "", ("direction",)
         ).labels(direction="out")
+        # SLO accounting: on by default for real telemetry, off for the
+        # null bundle (nowhere to record, and the benchmark's null
+        # baseline must stay instrument-free).
+        if slos is None:
+            slos = () if isinstance(self.telemetry, NullTelemetry) else DEFAULT_PORTAL_SLOS
+        self._slo = SLOTracker(registry, slos) if slos else None
+        # Distributed tracing: requests carrying a valid ``trace``
+        # envelope get a portal.dispatch span parented under the caller's
+        # remote span; requests without one stay on the untraced path.
+        self._trace_enabled = not isinstance(self.telemetry.traces, NullTraceBuffer)
+        self._tracer = Tracer(self.telemetry.traces)
         self._connections: set = set()
         self._connections_lock = threading.Lock()
         self._server = _ThreadedTcpServer((host, port), _Handler)
@@ -195,15 +219,36 @@ class PortalServer:
             getattr(self, f"_do_{method}", None) if isinstance(method, str) else None
         )
         label = method if handler is not None else "<unknown>"
+        context = None
+        if self._trace_enabled:
+            envelope = message.get("trace")
+            if envelope is not None:
+                # Malformed envelopes parse to None: served untraced.
+                context = TraceContext.from_wire(envelope)
+        span = None
+        token = None
+        if context is not None:
+            span = self._tracer.start_child(
+                "portal.dispatch", context, method=label
+            )
+            token = push_active(self.telemetry.traces, span)
         clock = self.telemetry.clock
         started = clock()
         self._inflight.inc()
         try:
             response = self._dispatch_inner(method, handler, message)
         finally:
+            elapsed = clock() - started
             self._inflight.dec()
-            self._latency.labels(method=label).observe(clock() - started)
+            self._latency.labels(method=label).observe(elapsed)
             self._requests.labels(method=label).inc()
+            if span is not None:
+                reset_active(token)
+                self._tracer.buffer.finish(span)
+        if span is not None and "error" in response:
+            span.set(error="response-error")
+        if self._slo is not None:
+            self._slo.observe(label, elapsed, "error" in response)
         return response
 
     def _dispatch_inner(
@@ -220,6 +265,12 @@ class PortalServer:
             # Schema gate: unknown/missing/ill-typed params are rejected
             # before the handler runs (ValueError -> request error below).
             protocol.validate_params(method, params)
+            traces = self.telemetry.traces
+            if active_span(traces) is not None:
+                # Traced request: time the iTracker handler as its own
+                # child span so wire/dispatch overhead is attributable.
+                with traces.span("itracker.handle", method=label):
+                    return protocol.ok(handler(params))
             return protocol.ok(handler(params))
         except (PortalRequestError, AccessDeniedError, ValueError) as exc:
             self._errors.labels(method=label, kind="request").inc()

@@ -61,7 +61,13 @@ from repro.core.statestore import StateStore
 from repro.network.library import abilene
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology
-from repro.observability import RegistryResilienceCounters, Telemetry
+from repro.observability import (
+    RegistryResilienceCounters,
+    Telemetry,
+    Tracer,
+    assemble_traces,
+    export_traces,
+)
 from repro.portal.client import Integrator
 from repro.portal.faults import FaultSchedule, FaultyPortal
 from repro.portal.replication import FailoverPortalClient, StandbyReplica
@@ -239,6 +245,13 @@ class ChaosResult:
     #: (None when the schedule has no restart-with-state).
     restored_price_gap: Optional[float] = None
     telemetry: Optional[Telemetry] = None
+    #: Causal trace trees of the first invariant-violating ticks (at most
+    #: three): the ``chaos.tick`` root with the failover/replica/portal
+    #: spans underneath -- what fuzz fixtures attach as the failure's
+    #: self-contained causal explanation.  Empty when no invariant tripped
+    #: (head sampling is off in the chaos harness; only error traces
+    #: survive export).
+    violation_traces: List[Dict[str, Any]] = field(default_factory=list)
 
     def statuses(self) -> List[str]:
         """Distinct health states in observation order (dedup of repeats)."""
@@ -283,12 +296,14 @@ class _Cluster:
         store: StateStore,
         telemetry: Telemetry,
         fault_schedule: Optional[FaultSchedule] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.topology = topology
         self.itracker_config = itracker_config
         self.store = store
         self.telemetry = telemetry
         self.fault_schedule = fault_schedule
+        self.tracer = tracer
         self.tracker: Optional[ITracker] = None
         self.server: Optional[PortalServer] = None
         self.proxy: Optional[FaultyPortal] = None
@@ -306,7 +321,8 @@ class _Cluster:
         self.proxy = FaultyPortal(self.server.address, schedule=self.fault_schedule)
         follower = ITracker(topology=self.topology, config=self.itracker_config)
         self.standby = StandbyReplica(
-            follower, self.server.address, clock=clock, telemetry=self.telemetry
+            follower, self.server.address, clock=clock, telemetry=self.telemetry,
+            tracer=self.tracer,
         )
         self.standby_server = self.standby.serve(telemetry=self.telemetry)
 
@@ -428,11 +444,21 @@ def run_chaos(
         )
         engine = sim.engine
         clock = lambda: engine.now
-        telemetry = Telemetry(clock=clock)
+        # One big ring for the whole cluster (client + replicas + servers
+        # share the bundle): a long chaotic run must not evict the early
+        # ticks where the violations usually happen.
+        telemetry = Telemetry(
+            clock=clock, trace_capacity=16384, trace_namespace="chaos"
+        )
         sim.telemetry = telemetry
         counters = RegistryResilienceCounters(telemetry.registry)
+        # Head sampling off: only ticks that trip an invariant (tagged
+        # ``error`` below) survive the export policy, so the attached
+        # failure traces stay small no matter how long the run is.
+        tracer = Tracer(telemetry.traces, sample_rate=0.0)
         cluster = _Cluster(
-            topo, itracker_config, store, telemetry, fault_schedule=fault_schedule
+            topo, itracker_config, store, telemetry, fault_schedule=fault_schedule,
+            tracer=tracer,
         )
         cluster.start(clock)
         observations: List[ChaosObservation] = []
@@ -464,6 +490,7 @@ def run_chaos(
             sleep=lambda _delay: None,
             rng=random.Random(config.rng_seed),
             counters=counters,
+            tracer=tracer,
         )
         integrator = Integrator(telemetry=telemetry)
         integrator.add(as_number, client)
@@ -510,6 +537,18 @@ def run_chaos(
                     cluster.corrupt_wal()
 
         def refresh(now: float, rates: Dict[Tuple[str, str], float]) -> None:
+            # Each tick roots one distributed trace: every replica sync,
+            # failover fetch, retry, and portal dispatch underneath ends up
+            # in the same causal tree.  A tick that trips an invariant is
+            # error-tagged so the export policy keeps (only) those trees.
+            before = len(violations)
+            with tracer.trace("chaos.tick", tick_time=now) as span:
+                _refresh_inner(now, rates)
+            if len(violations) > before:
+                kinds = sorted({v.invariant for v in violations[before:]})
+                span.set(error="invariant-violation", invariants=",".join(kinds))
+
+        def _refresh_inner(now: float, rates: Dict[Tuple[str, str], float]) -> None:
             nonlocal last_identity, last_primary_identity, ticks
             apply_events(now)
             primary_identity: Optional[Tuple[int, int]] = None
@@ -630,6 +669,17 @@ def run_chaos(
     )
     counters: RegistryResilienceCounters = extras["counters"]
     counters.native_fallbacks = extras["native_fallbacks"]
+    chaos_telemetry: Telemetry = extras["telemetry"]
+    # Transport errors during crash/partition windows are *expected* and
+    # also survive the always-sample-on-error export; a violation trace is
+    # specifically a tick whose root was tagged by the invariant checks.
+    violation_traces = [
+        tree
+        for tree in export_traces(
+            assemble_traces({"chaos": chaos_telemetry.traces.snapshot()})
+        )
+        if tree["attributes"].get("error") == "invariant-violation"
+    ][:3]
     return ChaosResult(
         baseline=base_result,
         chaotic=chaos_result,
@@ -642,6 +692,7 @@ def run_chaos(
         native_fallbacks=extras["native_fallbacks"],
         restored_price_gap=extras["restored_price_gap"],
         telemetry=extras["telemetry"],
+        violation_traces=violation_traces,
     )
 
 

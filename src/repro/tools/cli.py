@@ -215,6 +215,42 @@ def _run_chaos(args: argparse.Namespace, out) -> int:
     return 1 if result.violations else 0
 
 
+def _run_trace(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.observability.assembler import (
+        canonical_json,
+        critical_path,
+        format_trace_tree,
+        slowest,
+    )
+
+    if args.input is not None:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    else:
+        from repro.simulator.traced import run_traced_scenario
+
+        document = run_traced_scenario(seed=args.seed)
+    trees = document.get("traces", [])
+    if args.format == "json":
+        out.write(canonical_json(document))
+        return 0
+    ranked = slowest(trees, args.slowest) if args.slowest else trees
+    for tree in ranked:
+        print(f"trace {tree['trace_id']}:", file=out)
+        print(format_trace_tree(tree), file=out)
+        path = critical_path(tree)
+        names = " -> ".join(node["name"] for node in path)
+        tail = path[-1]
+        duration = tail["duration"]
+        timing = f"{duration * 1000.0:.3f}ms" if duration is not None else "open"
+        print(f"critical path: {names} (leaf {timing})", file=out)
+        print(file=out)
+    print(f"{len(trees)} trace(s) exported", file=out)
+    return 0
+
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "table1": _run_table1,
     "fig6": _run_fig6,
@@ -229,6 +265,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "lint": _run_lint,
     "chaos": _run_chaos,
     "fuzz": _run_fuzz,
+    "trace": _run_trace,
 }
 
 
@@ -302,6 +339,33 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.fuzz.cli import add_fuzz_arguments
 
     add_fuzz_arguments(fuzz)
+    trace = sub.add_parser(
+        "trace",
+        help="run the scripted faulted scenario (or load an export) and "
+        "render its distributed trace trees",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--format",
+        choices=("tree", "json"),
+        default="tree",
+        help="tree: ASCII causal trees + critical paths; json: the "
+        "canonical deterministic export document",
+    )
+    trace.add_argument(
+        "--input",
+        metavar="FILE",
+        default=None,
+        help="render a previously exported trace document instead of "
+        "running the scripted scenario",
+    )
+    trace.add_argument(
+        "--slowest",
+        type=int,
+        default=0,
+        metavar="N",
+        help="only render the N slowest traces (by root duration)",
+    )
     lint = sub.add_parser(
         "lint", help="run p4plint, the AST-based invariant checker"
     )

@@ -15,3 +15,23 @@ class builder:
     @staticmethod
     def counter(*args: object) -> None:
         return None
+
+
+def start_spans(telemetry, tracer, context, name: str):
+    telemetry.traces.start("itracker.price_update")
+    with telemetry.traces.span("itracker.handle", method="get_view"):
+        pass
+    span = tracer.start_trace("client.call", method="get_view")
+    tracer.start_child("portal.dispatch", context)
+    with tracer.trace("chaos.tick"):
+        pass
+    # Non-span-starting methods and non-trace receivers are out of scope.
+    tracer.event(name)
+    telemetry.traces.finish(span)
+    helper.span(name)
+
+
+class helper:
+    @staticmethod
+    def span(*args: object) -> None:
+        return None

@@ -12,3 +12,11 @@ def instrument(registry, kind: str):
 
 def dynamic_labels():
     return ("method",)
+
+
+def start_spans(telemetry, tracer, name: str):
+    telemetry.traces.start(name)  # dynamic span name
+    telemetry.traces.span("portal.made_up")  # undeclared span name
+    tracer.start_trace("client.rogue")  # undeclared span name
+    with tracer.trace(f"chaos.{name}"):  # dynamic span name
+        pass

@@ -335,7 +335,7 @@ class TestPortalTelemetry:
             if value != parsed[key]:
                 assert key.startswith(
                     ("p4p_portal_requests_total", "p4p_portal_request_latency",
-                     "p4p_portal_frame_bytes_total")
+                     "p4p_portal_frame_bytes_total", "p4p_slo_")
                 )
 
     def test_get_metrics_unknown_format_is_error(self, portal):
