@@ -1,0 +1,182 @@
+"""Serving-plane benchmark: asyncio portal vs the threaded baseline.
+
+Drives both portal servers with the identical seeded open-loop workload
+(:mod:`repro.workloads.loadgen`) and compares achieved throughput and
+latency.  The workload is the paper's read-mostly portal shape: an
+appTracker population querying p4p-distance views restricted to its
+swarms' PID footprints, interleaved with version polls, policy fetches,
+and ALTO interop reads, over churning connections.
+
+The offered load is set well above the threaded server's capacity, so
+each server's achieved QPS *is* its capacity: the threaded baseline
+recomputes the full external view inside every view request, while the
+asyncio plane serves every request from the sharded, versioned snapshot
+its :class:`~repro.portal.views.ViewPublisher` computed once.  On a
+single core the entire speedup is architectural -- publication plus
+coalescing, not parallelism.
+
+Results are written to ``BENCH_portal.json`` at the repo root.  The
+acceptance bar is a >= 5x QPS ratio at the 1,000-connection mixed
+workload; a checked-in baseline (``benchmarks/baseline_portal.json``)
+pins the expected ratios and the test fails on a >20% regression (the
+QPS *ratio* is gated, not absolute QPS, so the gate is machine-
+independent).  ``P4P_BENCH_FULL=1`` adds a 2,000-connection scenario.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.itracker import ITracker
+from repro.core.pdistance import uniform_pid_map
+from repro.network.generators import US_METROS, synthetic_isp
+from repro.observability import NULL_TELEMETRY
+from repro.portal.aserver import AsyncPortalServer
+from repro.portal.server import PortalServer
+from repro.workloads.loadgen import LoadSpec, build_schedule, run
+
+from conftest import full_scale, print_rows
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_portal.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_portal.json"
+
+#: Allowed fractional drop below the checked-in baseline QPS ratio.
+REGRESSION_BUDGET = 0.20
+#: The issue's acceptance bar at the 1k-connection mixed workload.
+HEADLINE_SPEEDUP = 5.0
+
+#: Benchmark topology: 80 aggregation PoPs, big enough that the full
+#: external-view aggregation (what the threaded server repeats per
+#: request) is the dominant cost, as it is for a real provider.
+N_POPS = 80
+
+
+def _itracker() -> ITracker:
+    topology = synthetic_isp(
+        name="BENCH",
+        n_pops=N_POPS,
+        metros=US_METROS,
+        n_hubs=12,
+        as_number=65000,
+        seed=9,
+    )
+    return ITracker(
+        topology=topology,
+        pid_map=uniform_pid_map(topology),
+        telemetry=NULL_TELEMETRY,
+    )
+
+
+def _scenarios(pid_pool):
+    """(name, LoadSpec) pairs; the swarm-style mixed workload at rising
+    connection counts.  97% of view reads are restricted to a small PID
+    subset (a swarm's footprint); the remainder pull the full mesh."""
+
+    def spec(connections, rate, duration, seed):
+        return LoadSpec(
+            connections=connections,
+            rate=rate,
+            duration=duration,
+            seed=seed,
+            churn=0.002,
+            pids_fraction=0.97,
+            pids_max=6,
+            pid_pool=pid_pool,
+        )
+
+    scenarios = [
+        ("c200-mixed", spec(200, 2000.0, 0.5, seed=7)),
+        ("c1000-mixed", spec(1000, 2500.0, 1.0, seed=11)),
+    ]
+    if full_scale():
+        scenarios.append(("c2000-mixed", spec(2000, 2500.0, 2.0, seed=13)))
+    return scenarios
+
+
+def _measure(server_kind: str, spec: LoadSpec, schedule):
+    if server_kind == "threaded":
+        server = PortalServer(_itracker(), telemetry=NULL_TELEMETRY)
+    else:
+        server = AsyncPortalServer(
+            _itracker(), workers=2, telemetry=NULL_TELEMETRY
+        )
+    with server:
+        # Pre-warm out of band: both servers answer one request before
+        # the clock starts, so import/percolation costs are excluded and
+        # the async plane's first view publication is not.
+        warm = LoadSpec(connections=1, rate=100.0, duration=0.02, seed=1)
+        run(warm, server.address)
+        started = time.perf_counter()
+        summary = run(spec, server.address, schedule=schedule)
+        wall = time.perf_counter() - started
+    return summary, wall
+
+
+@pytest.mark.perf
+def test_portal_serving_plane_speedup_and_regression_gate():
+    baseline = json.loads(BASELINE_PATH.read_text())["speedup"]
+    pid_pool = tuple(_itracker().get_pdistances().pids)
+    scenarios = {}
+    rows = []
+    for name, spec in _scenarios(pid_pool):
+        schedule = build_schedule(spec)
+        results = {}
+        for kind in ("threaded", "async"):
+            summary, wall = _measure(kind, spec, schedule)
+            assert summary.errors == 0, (name, kind, summary.errors)
+            assert summary.requests == len(schedule), (name, kind)
+            results[kind] = summary
+        speedup = results["async"].qps / results["threaded"].qps
+        scenarios[name] = {
+            "connections": spec.connections,
+            "offered_rate": spec.rate,
+            "requests": len(schedule),
+            "threaded": results["threaded"].to_document(),
+            "async": results["async"].to_document(),
+            "speedup": round(speedup, 3),
+        }
+        rows.append(
+            f"{name:<12} threaded={results['threaded'].qps:8.1f} qps "
+            f"(p99 {results['threaded'].p99 * 1000:9.1f}ms)  "
+            f"async={results['async'].qps:8.1f} qps "
+            f"(p99 {results['async'].p99 * 1000:8.1f}ms)  "
+            f"speedup={speedup:5.2f}x"
+        )
+    print_rows("portal serving plane (open-loop, single box)", rows)
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "portal-serving-plane",
+                "topology": f"synthetic-{N_POPS}pop",
+                "full_scale": full_scale(),
+                "scenarios": scenarios,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Acceptance bar: the 1k-connection mixed workload must clear 5x.
+    headline = scenarios["c1000-mixed"]["speedup"]
+    assert headline >= HEADLINE_SPEEDUP, (
+        f"async serving plane {headline:.2f}x on the 1k-connection mixed "
+        f"workload; the acceptance bar is {HEADLINE_SPEEDUP:.1f}x"
+    )
+
+    # Regression gate: no scenario may fall >20% below its checked-in
+    # baseline ratio (scenarios without a baseline are reported only).
+    for name, expected in baseline.items():
+        if name not in scenarios:
+            continue
+        measured = scenarios[name]["speedup"]
+        floor = (1.0 - REGRESSION_BUDGET) * expected
+        assert measured >= floor, (
+            f"{name}: speedup {measured:.2f}x regressed more than "
+            f"{REGRESSION_BUDGET:.0%} below the baseline {expected:.2f}x "
+            f"(floor {floor:.2f}x); if the slowdown is intentional, "
+            f"update benchmarks/baseline_portal.json"
+        )

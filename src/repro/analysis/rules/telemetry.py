@@ -69,6 +69,7 @@ DECLARED_LABELS = frozenset(
         "status",  # integrator portal health (PortalStatus: ok/stale/unavailable)
         "oracle",  # fuzzer oracle names (differential/chaos/view/universal)
         "slo",  # declared SLO names (DEFAULT_PORTAL_SLOS and test SLOs)
+        "worker",  # serving-plane worker index (bounded by the worker count)
     }
 )
 
@@ -82,6 +83,7 @@ DECLARED_SPANS = frozenset(
         "itracker.handle",  # server-side method handler execution
         "itracker.price_update",  # one dynamic price-update step
         "portal.dispatch",  # server-side request dispatch
+        "portal.view_publish",  # sharded view snapshot computation + publication
         "replica.sync",  # standby replica delta pull
         "resilient.fetch",  # fetch+validate of one fresh view
         "resilient.get_view",  # resilient view fetch incl. stale fallback

@@ -177,17 +177,43 @@ class ITracker:
 
         Applies the configured privacy perturbation and/or rank coarsening.
         """
-        view = external_view(
+        view = self.view_snapshot()
+        if pids is not None:
+            view = view.restricted_to(pids)
+        return self.finish_view(view)
+
+    def view_snapshot(self) -> PDistanceMap:
+        """The raw full-mesh external view for the current price state.
+
+        This is the expensive, *pure* part of :meth:`get_pdistances`
+        (aggregating per-link prices over every PID-pair route), before
+        any restriction or configured degradation.  It depends only on
+        ``(epoch, version)``, which makes it the cacheable unit behind
+        the async serving plane's versioned copy-on-update view
+        publication (:class:`repro.portal.views.ViewPublisher`).
+        """
+        return external_view(
             self.topology,
             self.routing,
             self.link_prices,
             self.objective.cost_offsets(self.topology),
             intra_pid_distance=self.config.intra_pid_distance,
         )
-        if pids is not None:
-            view = view.restricted_to(pids)
+
+    def finish_view(
+        self, view: PDistanceMap, version: Optional[int] = None
+    ) -> PDistanceMap:
+        """Apply the configured degradations to a (restricted) raw view.
+
+        Perturbation is seeded by ``version`` (default: the current one)
+        so a cached snapshot postprocessed later yields bit-identical
+        distances to a view computed inline at that version.  Order
+        matters and mirrors :meth:`get_pdistances`: restrict first, then
+        perturb, then coarsen to ranks.
+        """
         if self.config.perturbation > 0:
-            view = view.perturbed(self.config.perturbation, seed=self._version)
+            seed = self._version if version is None else version
+            view = view.perturbed(self.config.perturbation, seed=seed)
         if self.config.serve_ranks:
             view = view.to_ranks()
         return view

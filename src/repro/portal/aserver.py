@@ -1,0 +1,392 @@
+"""The asyncio portal serving plane: the scale-out twin of
+:class:`~repro.portal.server.PortalServer`.
+
+Same iTracker, same length-prefixed JSON wire protocol, same dispatch
+semantics (both servers subclass :class:`~repro.portal.dispatch.
+PortalDispatcher`, and ``tests/test_portal_conformance.py`` pins the wire
+behaviour byte-for-byte) -- but built for "millions of users" instead of
+a thread per connection:
+
+* **Multi-worker accept model.**  ``workers`` event loops, each on its
+  own thread with its own connection set (shared-nothing: a connection
+  lives and dies on one worker).  Two accept models:
+
+  - ``reuseport`` -- every worker binds its own listening socket to the
+    same port with ``SO_REUSEPORT``; the kernel load-balances accepts.
+  - ``dispatcher`` -- one listening socket, one acceptor thread handing
+    accepted connections to worker loops round-robin (the portable
+    fallback when ``SO_REUSEPORT`` is unavailable).
+
+  ``auto`` (the default) picks ``reuseport`` when the platform has it.
+
+* **PID-space sharding with versioned copy-on-update publication.**  The
+  read-mostly external view is computed once per ``(epoch, version)``,
+  sharded over PID space, and published by atomic reference swap
+  (:class:`~repro.portal.views.ViewPublisher`); the view handlers serve
+  from the published snapshot instead of re-aggregating the full mesh
+  per request.
+
+* **Request coalescing.**  Identical concurrent ``get_pdistances``
+  requests that find the snapshot stale park on one in-flight
+  computation (run off-loop in a small executor so the event loops keep
+  serving) and all receive the single published result.
+
+Telemetry, distributed tracing, and SLO accounting ride along unchanged
+-- dispatch is the same instrumented code path -- plus the serving-plane
+instruments: ``p4p_portal_view_publications_total``,
+``p4p_portal_view_serves_total{outcome}``, and
+``p4p_portal_worker_connections{worker}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import logging
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.itracker import ITracker
+from repro.observability import SLO, Telemetry
+from repro.portal import protocol
+from repro.portal.dispatch import PortalDispatcher
+from repro.portal.views import ViewPublisher
+
+__all__ = ["AsyncPortalServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Methods whose handlers read the published view: when the snapshot is
+#: stale their computation is offloaded (and coalesced) off the event
+#: loop so one price update never stalls every in-flight connection.
+_VIEW_METHODS = frozenset({"get_pdistances", "get_alto_costmap"})
+
+_ACCEPT_MODELS = ("auto", "reuseport", "dispatcher")
+
+
+def _reuseport_available() -> bool:
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+class _Worker:
+    """One event loop on one thread, owning its accepted connections."""
+
+    def __init__(
+        self,
+        server: "AsyncPortalServer",
+        index: int,
+        sock: Optional[socket.socket],
+    ) -> None:
+        self.server = server
+        self.index = index
+        self.sock = sock
+        self.loop = asyncio.new_event_loop()
+        self.connections: set = set()
+        self.started = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"p4p-aportal-{index}", daemon=True
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+        self.started.wait(timeout=10.0)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_until_complete(self._main())
+            pending = asyncio.all_tasks(self.loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self.loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+        finally:
+            self.started.set()  # unblock start() even on a failed bring-up
+            self.loop.close()
+
+    async def _main(self) -> None:
+        self._stop = asyncio.Event()
+        listener = None
+        if self.sock is not None:
+            listener = await asyncio.start_server(
+                functools.partial(self.server._serve_connection, self),
+                sock=self.sock,
+            )
+        self.started.set()
+        await self._stop.wait()
+        if listener is not None:
+            listener.close()
+            await listener.wait_closed()
+        # Sever established connections exactly like the threaded
+        # server's close(): a dead portal must not answer from beyond
+        # the grave (chaos harness / client reconnect logic rely on it).
+        for writer in list(self.connections):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        await asyncio.sleep(0)
+
+    def stop(self) -> None:
+        if self.loop.is_closed():
+            return
+
+        def _signal() -> None:
+            if self._stop is not None:
+                self._stop.set()
+
+        try:
+            self.loop.call_soon_threadsafe(_signal)
+        except RuntimeError:
+            pass
+
+    def adopt(self, conn: socket.socket) -> None:
+        """Dispatcher-fed accept: take ownership of an accepted socket."""
+        try:
+            asyncio.run_coroutine_threadsafe(self._adopt(conn), self.loop)
+        except RuntimeError:
+            conn.close()
+
+    async def _adopt(self, conn: socket.socket) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(sock=conn)
+        except OSError:
+            conn.close()
+            return
+        await self.server._serve_connection(self, reader, writer)
+
+
+class AsyncPortalServer(PortalDispatcher):
+    """Serve one iTracker over asyncio worker loops until :meth:`close`."""
+
+    def __init__(
+        self,
+        itracker: ITracker,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        telemetry: Optional[Telemetry] = None,
+        staleness_provider: Optional[Callable[[], Optional[float]]] = None,
+        slos: Optional[Sequence[SLO]] = None,
+        accept_model: str = "auto",
+        view_shards: int = 8,
+        backlog: int = 128,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if accept_model not in _ACCEPT_MODELS:
+            raise ValueError(
+                f"accept_model must be one of {_ACCEPT_MODELS}, got {accept_model!r}"
+            )
+        super().__init__(
+            itracker,
+            telemetry=telemetry,
+            staleness_provider=staleness_provider,
+            slos=slos,
+        )
+        if accept_model == "auto":
+            accept_model = "reuseport" if _reuseport_available() else "dispatcher"
+        elif accept_model == "reuseport" and not _reuseport_available():
+            raise ValueError("SO_REUSEPORT is not available on this platform")
+        self.accept_model = accept_model
+        self.publisher = ViewPublisher(
+            itracker, n_shards=view_shards, telemetry=self.telemetry
+        )
+        registry = self.telemetry.registry
+        self._worker_connections = registry.gauge(
+            "p4p_portal_worker_connections",
+            "Connections currently owned by each serving-plane worker.",
+            ("worker",),
+        )
+        # Off-loop pool for stale-view computation (and its coalesced
+        # waiters); sized past the worker count so one slow compute plus
+        # its waiters can never starve the pool into a deadlock.
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers + 2, thread_name_prefix="p4p-aportal-view"
+        )
+        self._closed = False
+        self._listener: Optional[socket.socket] = None
+        self._acceptor: Optional[threading.Thread] = None
+        sockets: List[Optional[socket.socket]]
+        if accept_model == "reuseport":
+            bound = self._bind_reuseport(host, port, workers, backlog)
+            self._address = bound[0].getsockname()
+            sockets = list(bound)
+        else:
+            self._listener = self._bind(host, port, backlog, reuseport=False)
+            self._address = self._listener.getsockname()
+            sockets = [None] * workers
+        self._workers = [
+            _Worker(self, index, sock) for index, sock in enumerate(sockets)
+        ]
+        for worker in self._workers:
+            worker.start()
+        if accept_model == "dispatcher":
+            self._acceptor = threading.Thread(
+                target=self._accept_loop, name="p4p-aportal-accept", daemon=True
+            )
+            self._acceptor.start()
+
+    # -- sockets -----------------------------------------------------------
+
+    @staticmethod
+    def _bind(
+        host: str, port: int, backlog: int, reuseport: bool
+    ) -> socket.socket:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuseport:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((host, port))
+            sock.listen(backlog)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    @classmethod
+    def _bind_reuseport(
+        cls, host: str, port: int, workers: int, backlog: int
+    ) -> List[socket.socket]:
+        """One listening socket per worker on a shared port.
+
+        With ``port=0`` the first bind picks the ephemeral port and the
+        remaining workers join it.
+        """
+        sockets = [cls._bind(host, port, backlog, reuseport=True)]
+        actual = sockets[0].getsockname()[1]
+        try:
+            for _ in range(1, workers):
+                sockets.append(cls._bind(host, actual, backlog, reuseport=True))
+        except OSError:
+            for sock in sockets:
+                sock.close()
+            raise
+        return sockets
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._address  # type: ignore[return-value]
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        index = 0
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            if self._closed:
+                conn.close()
+                return
+            self._workers[index % len(self._workers)].adopt(conn)
+            index += 1
+
+    # -- serving -----------------------------------------------------------
+
+    async def _serve_connection(
+        self,
+        worker: _Worker,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        gauge = self._worker_connections.labels(worker=str(worker.index))
+        worker.connections.add(writer)
+        gauge.inc()
+        try:
+            while True:
+                try:
+                    framed = await protocol.aread_frame_ex(reader)
+                except (protocol.ProtocolError, ConnectionError, OSError):
+                    # Torn/oversized/malformed frame or a peer reset: the
+                    # threaded server severs here, so must we.
+                    break
+                if framed is None:
+                    break
+                message, frame_bytes = framed
+                self._bytes_in.inc(frame_bytes)
+                response = await self._adispatch(message)
+                payload = protocol.encode_frame(response)
+                self._bytes_out.inc(len(payload))
+                writer.write(payload)
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+        finally:
+            worker.connections.discard(writer)
+            gauge.dec()
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _adispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one message on the event loop.
+
+        Handlers are microsecond-scale once the view snapshot is
+        current; the only heavyweight step -- recomputing the view after
+        a price update -- is offloaded to the executor, where concurrent
+        identical requests coalesce onto a single computation.
+        """
+        method = message.get("method")
+        if method in _VIEW_METHODS and not self.publisher.is_current():
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(self._executor, self.publisher.current)
+            except Exception:
+                # The handler will hit the same failure synchronously and
+                # dispatch() turns it into a structured error frame.
+                logger.debug(
+                    "view publication failed; %s will surface the error "
+                    "synchronously",
+                    method,
+                    exc_info=True,
+                )
+        return self.dispatch(message)
+
+    # -- view handlers (served from the published snapshot) ----------------
+
+    def _do_get_pdistances(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        view = self.publisher.view(params.get("pids"))
+        return protocol.pdistance_to_wire(view)
+
+    def _do_get_alto_costmap(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.portal import alto
+
+        mode = params.get("mode", alto.NUMERICAL)
+        view = self.publisher.view(params.get("pids"))
+        return alto.cost_map_document(
+            view, mode=mode, map_vtag=f"p4p-{self.itracker.version}"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting, sever every connection, and join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for worker in self._workers:
+            worker.stop()
+        for worker in self._workers:
+            worker.thread.join(timeout=5.0)
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5.0)
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "AsyncPortalServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -62,13 +62,44 @@ def read_frame_ex(
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds limit")
     payload = _read_exact(sock, length, allow_eof=False)
+    assert payload is not None
+    return _decode_payload(payload), _HEADER.size + length
+
+
+def _decode_payload(payload: bytes) -> Dict[str, Any]:
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"bad JSON payload: {exc}") from exc
     if not isinstance(message, dict):
         raise ProtocolError("message must be a JSON object")
-    return message, _HEADER.size + length
+    return message
+
+
+async def aread_frame_ex(reader: Any) -> Optional[Tuple[Dict[str, Any], int]]:
+    """Asyncio twin of :func:`read_frame_ex` over a ``StreamReader``.
+
+    Same contract: ``None`` on clean EOF before a header,
+    :class:`ProtocolError` on a torn frame, an oversized length, or a
+    malformed payload -- the async server must sever such connections
+    exactly where the threaded server does.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode_payload(payload), _HEADER.size + length
 
 
 def _read_exact(

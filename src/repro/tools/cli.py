@@ -251,6 +251,75 @@ def _run_trace(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _loadtest_itracker(topology_name: str):
+    from repro.core.itracker import ITracker
+    from repro.core.pdistance import uniform_pid_map
+    from repro.observability import NULL_TELEMETRY
+
+    if topology_name == "abilene":
+        from repro.network.library import abilene
+
+        topo = abilene()
+    elif topology_name in ("isp-a", "isp-b", "isp-c"):
+        from repro.network import generators
+
+        topo = getattr(generators, topology_name.replace("-", "_"))()
+    else:
+        raise SystemExit(f"unknown --topology {topology_name!r}")
+    return ITracker(
+        topology=topo, pid_map=uniform_pid_map(topo), telemetry=NULL_TELEMETRY
+    )
+
+
+def _run_loadtest(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.observability import NULL_TELEMETRY
+    from repro.workloads.loadgen import LoadSpec, build_schedule, format_summary, run
+
+    probe = _loadtest_itracker(args.topology)
+    spec = LoadSpec(
+        connections=args.connections,
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        churn=args.churn,
+        pid_pool=tuple(probe.get_pdistances().pids),
+    )
+    schedule = build_schedule(spec)
+    summaries: Dict[str, Dict] = {}
+    if args.server in ("threaded", "both"):
+        from repro.portal.server import PortalServer
+
+        with PortalServer(
+            _loadtest_itracker(args.topology), telemetry=NULL_TELEMETRY
+        ) as server:
+            summary = run(spec, server.address, schedule=schedule)
+        summaries["threaded"] = summary.to_document()
+        if args.format == "text":
+            print(format_summary("threaded", summary), file=out)
+    if args.server in ("async", "both"):
+        from repro.portal.aserver import AsyncPortalServer
+
+        with AsyncPortalServer(
+            _loadtest_itracker(args.topology),
+            workers=args.workers,
+            accept_model=args.accept_model,
+            telemetry=NULL_TELEMETRY,
+        ) as server:
+            summary = run(spec, server.address, schedule=schedule)
+        summaries["async"] = summary.to_document()
+        if args.format == "text":
+            print(format_summary("async", summary), file=out)
+    if args.format == "text" and len(summaries) == 2:
+        speedup = summaries["async"]["qps"] / max(summaries["threaded"]["qps"], 1e-9)
+        print(f"async/threaded QPS ratio: {speedup:.2f}x", file=out)
+    if args.format == "json":
+        print(json.dumps(summaries, sort_keys=True, indent=2), file=out)
+    failed = sum(doc["errors"] for doc in summaries.values())
+    return 1 if failed else 0
+
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "table1": _run_table1,
     "fig6": _run_fig6,
@@ -266,6 +335,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "chaos": _run_chaos,
     "fuzz": _run_fuzz,
     "trace": _run_trace,
+    "loadtest": _run_loadtest,
 }
 
 
@@ -366,6 +436,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="only render the N slowest traces (by root duration)",
     )
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive the threaded and/or asyncio portal with a seeded "
+        "open-loop workload and report QPS + latency percentiles",
+    )
+    loadtest.add_argument(
+        "--server", choices=("threaded", "async", "both"), default="both"
+    )
+    loadtest.add_argument("--connections", type=int, default=100)
+    loadtest.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="offered load, requests/second across all connections",
+    )
+    loadtest.add_argument("--duration", type=float, default=2.0)
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--churn", type=float, default=0.005,
+        help="probability a request is preceded by a reconnect",
+    )
+    loadtest.add_argument(
+        "--workers", type=int, default=2, help="asyncio server worker loops"
+    )
+    loadtest.add_argument(
+        "--accept-model", choices=("auto", "reuseport", "dispatcher"),
+        default="auto",
+    )
+    loadtest.add_argument(
+        "--topology", choices=("abilene", "isp-a", "isp-b", "isp-c"),
+        default="abilene",
+    )
+    loadtest.add_argument("--format", choices=("text", "json"), default="text")
     lint = sub.add_parser(
         "lint", help="run p4plint, the AST-based invariant checker"
     )

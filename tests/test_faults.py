@@ -30,6 +30,7 @@ from repro.portal.resilience import (
     ResilientPortalClient,
     RetryPolicy,
 )
+from repro.portal.aserver import AsyncPortalServer
 from repro.portal.server import PortalServer
 
 
@@ -339,3 +340,80 @@ class TestOutageScenario:
         # Portal health gauge ends the run back at 0 (= "ok").
         health = telemetry.registry.get("p4p_sim_portal_health")
         assert health.labels().value == 0
+
+
+class TestDualServerClients:
+    """Regression: the whole client stack -- fault proxy, one-shot
+    reconnect, resilient client -- works unchanged against the asyncio
+    serving plane.  Parameterized over both servers so any divergence in
+    severing/reset behaviour shows up as a pair of failures."""
+
+    @staticmethod
+    def make_server(kind, itracker, **kwargs):
+        if kind == "threaded":
+            return PortalServer(itracker, **kwargs)
+        return AsyncPortalServer(itracker, workers=2, **kwargs)
+
+    @pytest.fixture(params=["threaded", "async"])
+    def dual_stack(self, request, itracker):
+        with self.make_server(request.param, itracker) as server:
+            with FaultyPortal(server.address) as proxy:
+                yield itracker, proxy
+
+    @pytest.mark.timeout(30)
+    def test_proxy_pass_through(self, dual_stack):
+        itracker, proxy = dual_stack
+        with PortalClient(*proxy.address) as client:
+            assert client.get_version() == itracker.version
+            view = client.get_pdistances()
+            local = itracker.get_pdistances()
+            assert view.distances == local.distances
+
+    @pytest.mark.timeout(30)
+    def test_one_reset_absorbed_by_one_resend(self, dual_stack):
+        itracker, proxy = dual_stack
+        proxy.schedule.script[0] = Fault(FaultKind.RESET_MID_FRAME)
+        with PortalClient(*proxy.address) as client:
+            assert client.get_version() == itracker.version
+
+    @pytest.mark.timeout(30)
+    def test_two_resets_surface_as_transport_error(self, dual_stack):
+        _, proxy = dual_stack
+        proxy.schedule.script[0] = Fault(FaultKind.RESET_MID_FRAME)
+        proxy.schedule.script[1] = Fault(FaultKind.RESET_MID_FRAME)
+        with PortalClient(*proxy.address) as client:
+            with pytest.raises(PortalTransportError):
+                client.get_version()
+
+    @pytest.mark.timeout(30)
+    def test_resilient_client_retries_through_proxy(self, dual_stack):
+        itracker, proxy = dual_stack
+        clock = FakeClock()
+        proxy.schedule.script[0] = Fault(FaultKind.RESET_MID_FRAME)
+        client = resilient(proxy, clock)
+        try:
+            view = client.get_pdistances()
+            assert view.distances == itracker.get_pdistances().distances
+        finally:
+            client.close()
+
+    @pytest.mark.timeout(60)
+    @pytest.mark.parametrize("kind", ["threaded", "async"])
+    def test_portal_client_survives_server_restart(self, kind, itracker):
+        """One-shot reconnect: a server restart on the same port is
+        absorbed by exactly one transparent resend."""
+        server = self.make_server(kind, itracker)
+        host, port = server.address
+        client = PortalClient(host, port)
+        try:
+            assert client.get_version() == itracker.version
+            server.close()
+            server = self.make_server(kind, itracker, host=host, port=port)
+            # the old socket is dead; the next call reconnects and resends
+            assert client.get_version() == itracker.version
+            assert client.get_pdistances().distances == (
+                itracker.get_pdistances().distances
+            )
+        finally:
+            client.close()
+            server.close()

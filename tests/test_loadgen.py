@@ -1,0 +1,193 @@
+"""Load-generator determinism and correctness tests.
+
+The generator's contract is that the schedule is a pure function of the
+:class:`~repro.workloads.loadgen.LoadSpec` -- same seed, same schedule,
+same summary statistics on the step clock -- because every A/B server
+comparison (the benchmark, the CI smoke job) depends on both servers
+receiving the identical workload.
+"""
+
+import pytest
+
+from repro.core.itracker import ITracker
+from repro.core.pdistance import uniform_pid_map
+from repro.network.library import abilene
+from repro.observability import NULL_TELEMETRY
+from repro.workloads.loadgen import (
+    DEFAULT_MIX,
+    LoadSpec,
+    _segments,
+    build_schedule,
+    percentile,
+    run,
+    simulate,
+    summarize,
+)
+
+POOL = ("P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8")
+
+
+def spec(**overrides):
+    base = dict(
+        connections=10,
+        rate=400.0,
+        duration=2.0,
+        seed=42,
+        churn=0.05,
+        pids_fraction=0.5,
+        pid_pool=POOL,
+    )
+    base.update(overrides)
+    return LoadSpec(**base)
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert build_schedule(spec()) == build_schedule(spec())
+
+    def test_different_seed_different_schedule(self):
+        assert build_schedule(spec(seed=1)) != build_schedule(spec(seed=2))
+
+    def test_same_seed_identical_summary_on_step_clock(self):
+        first = simulate(spec(), service_time=0.002)
+        second = simulate(spec(), service_time=0.002)
+        assert first == second
+        assert first.requests > 0
+        assert first.qps > 0
+
+    def test_schedule_properties(self):
+        workload = spec()
+        schedule = build_schedule(workload)
+        methods = {method for method, _ in DEFAULT_MIX}
+        previous = 0.0
+        for request in schedule:
+            assert 0.0 <= request.at < workload.duration
+            assert request.at >= previous  # arrival order
+            previous = request.at
+            assert 0 <= request.connection < workload.connections
+            assert request.method in methods
+            if "pids" in request.params:
+                assert request.method in ("get_pdistances", "get_alto_costmap")
+                assert set(request.params["pids"]) <= set(POOL)
+
+    def test_no_churn_means_no_reconnect_flags(self):
+        assert not any(
+            request.reconnect for request in build_schedule(spec(churn=0.0))
+        )
+
+    def test_pids_max_caps_subset_size(self):
+        schedule = build_schedule(spec(pids_fraction=1.0, pids_max=2))
+        subsets = [
+            request.params["pids"]
+            for request in schedule
+            if "pids" in request.params
+        ]
+        assert subsets
+        assert max(len(pids) for pids in subsets) <= 2
+
+    def test_method_mix_is_respected(self):
+        mix = (("get_version", 3.0), ("get_policy", 1.0))
+        schedule = build_schedule(spec(method_mix=mix, duration=5.0))
+        counts = {"get_version": 0, "get_policy": 0}
+        for request in schedule:
+            counts[request.method] += 1
+        # 3:1 weighting within generous tolerance
+        ratio = counts["get_version"] / max(counts["get_policy"], 1)
+        assert 2.0 < ratio < 4.5
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            LoadSpec(connections=0)
+        with pytest.raises(ValueError):
+            LoadSpec(rate=0.0)
+        with pytest.raises(ValueError):
+            LoadSpec(method_mix=())
+
+
+class TestSummaryArithmetic:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 0.50) == 5.0
+        assert percentile(values, 0.90) == 9.0
+        assert percentile(values, 0.99) == 10.0
+        assert percentile([7.5], 0.99) == 7.5
+        assert percentile([], 0.5) == 0.0
+
+    def test_summarize_counts_and_rates(self):
+        summary = summarize(
+            [0.2, 0.1, 0.3, 0.4], elapsed=2.0, errors=1, reconnects=2,
+            by_method={"get_version": 4},
+        )
+        assert summary.requests == 4
+        assert summary.qps == pytest.approx(2.0)
+        assert summary.p50 == 0.2
+        assert summary.p99 == 0.4
+        document = summary.to_document()
+        assert document["errors"] == 1
+        assert document["reconnects"] == 2
+        assert document["by_method"] == {"get_version": 4}
+
+    def test_simulate_fifo_queueing(self):
+        """On one connection at overwhelming rate, latency grows linearly
+        with queue depth: request i completes at (i+1) * service_time."""
+        workload = LoadSpec(
+            connections=1, rate=10_000.0, duration=0.01, seed=3, churn=0.0
+        )
+        schedule = build_schedule(workload)
+        service = 0.05  # far slower than the arrival spacing
+        summary = simulate(workload, service_time=service)
+        assert summary.requests == len(schedule)
+        # last completion ~ requests * service_time
+        assert summary.elapsed == pytest.approx(
+            schedule[0].at + service * len(schedule), abs=service
+        )
+
+    def test_segments_split_at_churn_boundaries(self):
+        def request(at, reconnect):
+            from repro.workloads.loadgen import ScheduledRequest
+
+            return ScheduledRequest(
+                at=at, connection=0, method="get_version", params={},
+                reconnect=reconnect,
+            )
+
+        requests = [
+            request(0.1, False),
+            request(0.2, False),
+            request(0.3, True),
+            request(0.4, False),
+            request(0.5, True),
+        ]
+        segments = _segments(requests)
+        assert [len(segment) for segment in segments] == [2, 2, 1]
+        # a reconnect flag on the very first request opens no extra segment
+        assert len(_segments([request(0.1, True)])) == 1
+
+
+@pytest.mark.timeout(60)
+class TestLiveDrive:
+    def test_drive_executes_whole_schedule_without_errors(self):
+        from repro.portal.aserver import AsyncPortalServer
+
+        topo = abilene()
+        tracker = ITracker(
+            topology=topo, pid_map=uniform_pid_map(topo), telemetry=NULL_TELEMETRY
+        )
+        workload = LoadSpec(
+            connections=5,
+            rate=300.0,
+            duration=0.5,
+            seed=9,
+            churn=0.05,
+            pid_pool=tuple(sorted(topo.nodes)),
+        )
+        schedule = build_schedule(workload)
+        with AsyncPortalServer(tracker, workers=2, telemetry=NULL_TELEMETRY) as server:
+            summary = run(workload, server.address, schedule=schedule)
+        assert summary.requests == len(schedule)
+        assert summary.errors == 0
+        assert summary.by_method == {
+            method: sum(1 for r in schedule if r.method == method)
+            for method in {r.method for r in schedule}
+        }
+        assert summary.p50 > 0.0
