@@ -9,6 +9,7 @@ rules` for the catalog, and ``p4p-repro lint`` for the CLI.
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.callgraph import ProjectIndex
 from repro.analysis.core import (
     Analyzer,
     Finding,
@@ -18,17 +19,22 @@ from repro.analysis.core import (
     Report,
     Rule,
 )
+from repro.analysis.dataflow import AttrAccess, ClassSummary, build_dataflow
 from repro.analysis.rules import ALL_RULES, RULES_BY_ID, resolve_rules
 
 __all__ = [
     "ALL_RULES",
     "Analyzer",
+    "AttrAccess",
     "Baseline",
     "BaselineEntry",
+    "build_dataflow",
+    "ClassSummary",
     "Finding",
     "LintRuleError",
     "Module",
     "Project",
+    "ProjectIndex",
     "Report",
     "Rule",
     "RULES_BY_ID",

@@ -7,10 +7,20 @@ finding still fails.  Matching is by ``(rule, path, message)`` --
 line-independent, so unrelated edits to a file don't invalidate its
 entries -- with multiset semantics: one entry suppresses one finding.
 
-Workflow: ``p4p-repro lint --write-baseline`` snapshots the current
-findings into the file; edit in a ``justification`` for each entry (the
-self-tests enforce budget limits per rule); commit it.  Entries that no
-longer match anything are reported so the file shrinks as debt is paid.
+Format v2 additionally stamps each participating rule's **version**
+(``rule_versions``): when a rule's logic changes, its version bumps, the
+stamp no longer matches, and the linter refuses to trust the old
+entries (exit 2) until they are re-triaged with ``--update-baseline``.
+v1 files (no stamps) still load; their stamps are empty and never
+conflict.
+
+Workflow: ``p4p-repro lint --update-baseline`` rewrites the file from
+the current findings, *preserving the justification* of every entry
+whose fingerprint still matches and carrying entries of unselected
+rules through untouched; edit in a ``justification`` for each new entry
+(the self-tests enforce budget limits per rule); commit it.  Entries
+that no longer match any finding are **stale** and fail the run -- the
+file must shrink as debt is paid, not fossilise.
 """
 
 from __future__ import annotations
@@ -19,11 +29,14 @@ import json
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.analysis.core import Finding
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions this loader still understands.
+_READABLE_VERSIONS = (1, FORMAT_VERSION)
 
 
 @dataclass(frozen=True)
@@ -40,12 +53,14 @@ class BaselineEntry:
 @dataclass
 class Baseline:
     entries: List[BaselineEntry] = field(default_factory=list)
+    #: rule id -> rule version the entries were triaged against.
+    rule_versions: Dict[str, str] = field(default_factory=dict)
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
         document = json.loads(Path(path).read_text(encoding="utf-8"))
         version = document.get("version")
-        if version != FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(f"unsupported baseline version {version!r}")
         entries = [
             BaselineEntry(
@@ -56,10 +71,15 @@ class Baseline:
             )
             for item in document.get("findings", [])
         ]
-        return cls(entries=entries)
+        rule_versions = dict(document.get("rule_versions", {}))
+        return cls(entries=entries, rule_versions=rule_versions)
 
     @classmethod
-    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+    def from_findings(
+        cls,
+        findings: Sequence[Finding],
+        rule_versions: Dict[str, str] | None = None,
+    ) -> "Baseline":
         return cls(
             entries=[
                 BaselineEntry(
@@ -68,12 +88,14 @@ class Baseline:
                     message=finding.message,
                 )
                 for finding in findings
-            ]
+            ],
+            rule_versions=dict(rule_versions or {}),
         )
 
     def save(self, path: Path) -> None:
         document = {
             "version": FORMAT_VERSION,
+            "rule_versions": dict(sorted(self.rule_versions.items())),
             "findings": [
                 {
                     "rule": entry.rule,
@@ -94,13 +116,87 @@ class Baseline:
             grouped.setdefault(entry.rule, []).append(entry)
         return grouped
 
+    def restricted_to(self, rule_ids: Set[str]) -> "Baseline":
+        """The baseline as seen by a run of only ``rule_ids``.
+
+        A ``--select LCK001`` run must neither consume nor report-stale
+        the entries of rules it did not execute.
+        """
+        return Baseline(
+            entries=[e for e in self.entries if e.rule in rule_ids],
+            rule_versions={
+                rule: stamp
+                for rule, stamp in self.rule_versions.items()
+                if rule in rule_ids
+            },
+        )
+
+    def stale_versions(
+        self, current: Dict[str, str]
+    ) -> List[Tuple[str, str, str]]:
+        """``(rule, stamped, current)`` for every version mismatch.
+
+        Only rules that both carry a stamp and ran now are compared; a
+        v1 baseline (no stamps) never mismatches.
+        """
+        out: List[Tuple[str, str, str]] = []
+        for rule, stamped in sorted(self.rule_versions.items()):
+            now = current.get(rule)
+            if now is not None and now != stamped:
+                out.append((rule, stamped, now))
+        return out
+
+    def updated(
+        self,
+        findings: Sequence[Finding],
+        rule_versions: Dict[str, str],
+        selected: Set[str],
+    ) -> "Baseline":
+        """The ``--update-baseline`` rewrite.
+
+        Entries of rules outside ``selected`` pass through untouched
+        (their stamps too); entries of selected rules are rebuilt from
+        ``findings``, each inheriting the justification of a matching
+        old entry (multiset: N old entries donate to at most N new
+        ones); selected rules get fresh version stamps.
+        """
+        kept = [e for e in self.entries if e.rule not in selected]
+        donors: Dict[Tuple[str, str, str], List[str]] = {}
+        for entry in self.entries:
+            if entry.rule in selected and entry.justification:
+                donors.setdefault(entry.fingerprint(), []).append(
+                    entry.justification
+                )
+        rebuilt: List[BaselineEntry] = []
+        for finding in findings:
+            pool = donors.get(finding.fingerprint())
+            justification = pool.pop(0) if pool else ""
+            rebuilt.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                    justification=justification,
+                )
+            )
+        versions = {
+            rule: stamp
+            for rule, stamp in self.rule_versions.items()
+            if rule not in selected
+        }
+        for rule in selected:
+            if rule in rule_versions:
+                versions[rule] = rule_versions[rule]
+        return Baseline(entries=kept + rebuilt, rule_versions=versions)
+
     def apply(
         self, findings: Sequence[Finding]
     ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
-        """Split findings into (new, suppressed); also return unused entries.
+        """Split findings into (new, suppressed); also return stale entries.
 
         Multiset semantics: N identical entries suppress at most N
-        identical findings.
+        identical findings.  Stale (unmatched) entries are a hard error
+        at the CLI layer: a baseline is a debt ledger, not a wildcard.
         """
         budget = Counter(entry.fingerprint() for entry in self.entries)
         new: List[Finding] = []

@@ -75,6 +75,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="snapshot current findings into the baseline file and exit 0",
     )
     parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings, preserving "
+        "justifications of entries that still match and entries of rules "
+        "not selected for this run",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
 
@@ -111,6 +118,8 @@ def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
     started = time.perf_counter()
     report = Analyzer(rules).run(project)
     elapsed = time.perf_counter() - started
+    selected_ids = {rule.id for rule in rules}
+    rule_versions = {rule.id: rule.version for rule in rules}
 
     baseline_path: Optional[Path]
     if args.baseline == "none":
@@ -120,13 +129,26 @@ def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
     else:
         baseline_path = default_baseline_path(Path(root).resolve())
 
-    if args.write_baseline:
+    if args.write_baseline or args.update_baseline:
+        mode = "--write-baseline" if args.write_baseline else "--update-baseline"
         if baseline_path is None:
-            print("error: --write-baseline needs --baseline FILE", file=err)
+            print(f"error: {mode} needs --baseline FILE", file=err)
             return 2
-        Baseline.from_findings(report.findings).save(baseline_path)
+        if args.update_baseline and baseline_path.is_file():
+            try:
+                previous = Baseline.load(baseline_path)
+            except (ValueError, KeyError) as exc:
+                print(f"error: bad baseline {baseline_path}: {exc}", file=err)
+                return 2
+            updated = previous.updated(
+                report.findings, rule_versions, selected_ids
+            )
+        else:
+            updated = Baseline.from_findings(report.findings, rule_versions)
+        updated.save(baseline_path)
         print(
-            f"wrote {len(report.findings)} finding(s) to {baseline_path}", file=out
+            f"wrote {len(updated.entries)} finding(s) to {baseline_path}",
+            file=out,
         )
         return 0
 
@@ -138,6 +160,17 @@ def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
             return 2
     else:
         baseline = Baseline()
+    baseline = baseline.restricted_to(selected_ids)
+    mismatched = baseline.stale_versions(rule_versions)
+    if mismatched:
+        for rule, stamped, current in mismatched:
+            print(
+                f"error: baseline was triaged against {rule} v{stamped} but "
+                f"the rule is now v{current}; re-review its entries and run "
+                f"`p4p-repro lint --update-baseline`",
+                file=err,
+            )
+        return 2
     new, suppressed, unused = baseline.apply(report.findings)
 
     if args.format == "json":
@@ -145,9 +178,12 @@ def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
             "root": report.root,
             "rules": report.rules,
             "elapsed_seconds": round(elapsed, 4),
+            "timings": {
+                key: round(value, 4) for key, value in report.timings.items()
+            },
             "findings": [finding.to_json() for finding in new],
             "suppressed": len(suppressed),
-            "baseline_unused": [
+            "baseline_stale": [
                 {"rule": e.rule, "path": e.path, "message": e.message}
                 for e in unused
             ],
@@ -161,17 +197,24 @@ def run_lint(args: argparse.Namespace, out=None, err=None) -> int:
             print(finding.format(), file=out)
         for entry in unused:
             print(
-                f"note: unused baseline entry {entry.rule} {entry.path}: "
-                f"{entry.message}",
+                f"error: stale baseline entry {entry.rule} {entry.path}: "
+                f"{entry.message} (fixed or reworded? remove it or run "
+                f"--update-baseline)",
                 file=out,
             )
+        if report.timings:
+            parts = " ".join(
+                f"{key}={value * 1000:.0f}ms"
+                for key, value in sorted(report.timings.items())
+            )
+            print(f"timings: {parts}", file=out)
         print(
             f"{len(new)} finding(s), {len(suppressed)} baselined, "
             f"{len(project.modules)} files, {len(rules)} rule(s), "
             f"{elapsed:.2f}s",
             file=out,
         )
-    return 1 if new else 0
+    return 1 if new or unused else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

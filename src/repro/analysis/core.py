@@ -128,6 +128,16 @@ class Rule:
     (prefix match, posix); an empty tuple means the whole tree.  Rules
     needing cross-file context implement :meth:`finalize`, called once
     after every module has been visited.
+
+    Whole-program rules set ``requires_project_index = True``: the
+    analyzer then builds one shared :class:`repro.analysis.callgraph.
+    ProjectIndex` per run and hands it to every such rule through
+    :meth:`prepare` before any module is visited.
+
+    ``version`` stamps the rule's matching logic.  It is recorded into
+    the baseline file on write; bump it whenever the rule's findings
+    change shape or coverage, so stale baselines fail loudly instead of
+    silently suppressing the wrong things.
     """
 
     id: str = ""
@@ -135,6 +145,12 @@ class Rule:
     description: str = ""
     severity: str = SEVERITY_ERROR
     scopes: Tuple[str, ...] = ()
+    version: str = "1.0"
+    requires_project_index: bool = False
+
+    def prepare(self, project: "Project", index: Optional[object]) -> None:
+        """Receive the shared project index (built once per run)."""
+        self.index = index
 
     def applies_to(self, module: Module) -> bool:
         if not self.scopes:
@@ -166,11 +182,14 @@ class Rule:
 
 @dataclass
 class Report:
-    """The analyzer's output: findings plus what ran."""
+    """The analyzer's output: findings plus what ran and how long."""
 
     root: str
     rules: List[str]
     findings: List[Finding] = field(default_factory=list)
+    #: Seconds spent per rule id (prepare + per-module checks + finalize),
+    #: plus the shared project-index build under :data:`INDEX_TIMING_KEY`.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -179,13 +198,38 @@ class Report:
         return counts
 
 
+#: Key under which :class:`Report.timings` records the index build.
+INDEX_TIMING_KEY = "index"
+
+
 class Analyzer:
-    """Run a set of rules over a project and collect sorted findings."""
+    """Run a set of rules over a project and collect sorted findings.
+
+    When any selected rule declares ``requires_project_index``, the
+    whole-program :class:`~repro.analysis.callgraph.ProjectIndex` is
+    built exactly once and shared across those rules via
+    :meth:`Rule.prepare`; single-file rules never pay for it.
+    """
 
     def __init__(self, rules: Sequence[Rule]) -> None:
         self.rules = list(rules)
 
     def run(self, project: Project) -> Report:
+        import time as _time
+
+        clock = _time.perf_counter
+        timings: Dict[str, float] = {rule.id: 0.0 for rule in self.rules}
+        index = None
+        if any(rule.requires_project_index for rule in self.rules):
+            from repro.analysis.callgraph import ProjectIndex
+
+            started = clock()
+            index = ProjectIndex.build(project)
+            timings[INDEX_TIMING_KEY] = clock() - started
+        for rule in self.rules:
+            started = clock()
+            rule.prepare(project, index if rule.requires_project_index else None)
+            timings[rule.id] += clock() - started
         findings: List[Finding] = []
         for module in project.modules:
             if module.tree is None:
@@ -201,18 +245,46 @@ class Analyzer:
                 continue
             for rule in self.rules:
                 if rule.applies_to(module):
+                    started = clock()
                     findings.extend(rule.check(module, project))
+                    timings[rule.id] += clock() - started
         for rule in self.rules:
+            started = clock()
             findings.extend(rule.finalize(project))
+            timings[rule.id] += clock() - started
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
         return Report(
             root=str(project.root),
             rules=[rule.id for rule in self.rules],
             findings=findings,
+            timings=timings,
         )
 
 
 # -- shared AST helpers ----------------------------------------------------------
+
+
+def is_self_attr(node: ast.AST) -> bool:
+    """``self.<attr>`` (the shape LCK001 and the dataflow layer track)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def is_lock_guard(item: ast.withitem) -> bool:
+    """``with self.<something-lock-ish>:`` (no ``as`` binding needed).
+
+    The single definition of "holding the lock" shared by LCK001 and the
+    cross-domain dataflow summaries -- both layers must agree on what a
+    guarded region is.
+    """
+    expr = item.context_expr
+    # Accept both ``with self._lock:`` and ``with self._lock.acquire_x():``
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    return is_self_attr(expr) and "lock" in expr.attr.lower()  # type: ignore[attr-defined]
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -1,0 +1,172 @@
+"""Per-class attribute-access summaries tagged with execution domains.
+
+LCK001 answers "is this attribute consistently lock-guarded?" inside one
+class, but it is thread-blind: it cannot see that ``ViewPublisher.
+current`` runs both on the event loop (via the async dispatch path) and
+on executor threads (via ``run_in_executor``), which is the distinction
+that separates a benign unguarded read from a cross-domain race.  This
+module computes the summary that makes that judgement mechanical:
+
+for every class, every ``self.<attr>`` read or write in every method,
+tagged with
+
+* whether the access happens inside a ``with self._lock:`` region
+  (:func:`repro.analysis.core.is_lock_guard` -- the *same* detection
+  LCK001 uses, so the two rules can never disagree about what "under
+  the lock" means), and
+* the execution domains the enclosing method can run in, taken from the
+  call graph's domain classification (event loop, spawned thread, or
+  unknown).
+
+Constructor accesses are recorded like any other; consumers (ASY002)
+exempt them, matching LCK001's view that the object is not shared while
+it is being built.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.callgraph import ProjectIndex
+from repro.analysis.core import Project, is_lock_guard, is_self_attr
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.<attr>`` access, with everything a race rule needs."""
+
+    class_qualname: str
+    attr: str
+    method: str  # bare method name
+    method_qualname: str
+    lineno: int
+    col: int
+    is_write: bool
+    locked: bool  # inside a `with self.<lock>:` region
+    domains: FrozenSet[str]  # execution domains of the enclosing method
+
+
+@dataclass
+class ClassSummary:
+    """Every tracked access of one class, plus its lock inventory."""
+
+    qualname: str
+    module: str  # relpath
+    lock_attrs: Set[str] = field(default_factory=set)
+    accesses: List[AttrAccess] = field(default_factory=list)
+
+    def by_attr(self) -> Dict[str, List[AttrAccess]]:
+        grouped: Dict[str, List[AttrAccess]] = {}
+        for access in self.accesses:
+            grouped.setdefault(access.attr, []).append(access)
+        return grouped
+
+
+class _AccessScanner(ast.NodeVisitor):
+    """LCK001's method scanner, shared shape: (node, is_write, locked)."""
+
+    def __init__(self) -> None:
+        self.accesses: List[Tuple[ast.Attribute, bool, bool]] = []
+        self._lock_depth = 0
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = any(is_lock_guard(item) for item in node.items)
+        for item in node.items:
+            self.visit(item)
+        if guarded:
+            self._lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if guarded:
+            self._lock_depth -= 1
+
+    visit_AsyncWith = visit_With
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self.x[k] = v`` / ``del self.x[k]`` mutate self.x.
+        if isinstance(node.ctx, (ast.Store, ast.Del)) and is_self_attr(node.value):
+            attr = node.value
+            if "lock" not in attr.attr.lower():  # type: ignore[attr-defined]
+                self.accesses.append((attr, True, self._lock_depth > 0))
+            self.visit(node.slice)
+            return
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if is_self_attr(node) and "lock" not in node.attr.lower():
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            self.accesses.append((node, is_write, self._lock_depth > 0))
+        self.generic_visit(node)
+
+    # Nested defs run on other stacks/closures; their accesses belong to
+    # their own function's domain classification, handled separately.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def build_dataflow(
+    project: Project, index: ProjectIndex
+) -> Dict[str, ClassSummary]:
+    """Class qualname -> :class:`ClassSummary` for the whole project.
+
+    Nested functions defined inside a method are scanned too (they close
+    over ``self``) and attributed to their *own* call-graph domains, not
+    the enclosing method's -- a closure handed to an executor runs on a
+    thread no matter where it was written down.
+    """
+    domains = index.domains()
+    nested_by_root: Dict[str, List[str]] = {}
+    for fn_qual in index.functions:
+        if ".<locals>." in fn_qual:
+            root = fn_qual.split(".<locals>.")[0]
+            nested_by_root.setdefault(root, []).append(fn_qual)
+    summaries: Dict[str, ClassSummary] = {}
+    for cls_qual, cls_info in index.classes.items():
+        summary = ClassSummary(qualname=cls_qual, module=cls_info.module)
+        for node in ast.walk(cls_info.node):
+            if isinstance(node, ast.Attribute) and is_self_attr(node):
+                if "lock" in node.attr.lower():
+                    summary.lock_attrs.add(node.attr)
+        for method_name, method_qual in sorted(cls_info.methods.items()):
+            _scan_function(summary, index, domains, method_name, method_qual)
+            # closures: repro...method.<locals>.inner (any depth)
+            for fn_qual in sorted(nested_by_root.get(method_qual, ())):
+                _scan_function(summary, index, domains, method_name, fn_qual)
+        summaries[cls_qual] = summary
+    return summaries
+
+
+def _scan_function(
+    summary: ClassSummary,
+    index: ProjectIndex,
+    domains: Dict[str, Set[str]],
+    method_name: str,
+    fn_qual: str,
+) -> None:
+    info = index.functions[fn_qual]
+    scanner = _AccessScanner()
+    for stmt in ast.iter_child_nodes(info.node):
+        scanner.visit(stmt)
+    fn_domains = frozenset(domains.get(fn_qual, ()))
+    for node, is_write, locked in scanner.accesses:
+        summary.accesses.append(
+            AttrAccess(
+                class_qualname=summary.qualname,
+                attr=node.attr,
+                method=method_name,
+                method_qualname=fn_qual,
+                lineno=node.lineno,
+                col=node.col_offset,
+                is_write=is_write,
+                locked=locked,
+                domains=fn_domains,
+            )
+        )

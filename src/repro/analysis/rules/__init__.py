@@ -13,9 +13,11 @@ from typing import Dict, List, Optional, Sequence, Type
 
 from repro.analysis.core import LintRuleError, Rule
 from repro.analysis.rules.api_schema import ApiSchemaParityRule
+from repro.analysis.rules.async_safety import AsyncBlockingRule, CrossDomainRaceRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exceptions import ExceptionHygieneRule
 from repro.analysis.rules.locking import LockDisciplineRule
+from repro.analysis.rules.resources import ResourceLifetimeRule
 from repro.analysis.rules.telemetry import TelemetryNamingRule
 
 #: Every registered rule class, in catalog order.
@@ -25,6 +27,9 @@ ALL_RULES: List[Type[Rule]] = [
     TelemetryNamingRule,
     ExceptionHygieneRule,
     ApiSchemaParityRule,
+    AsyncBlockingRule,
+    CrossDomainRaceRule,
+    ResourceLifetimeRule,
 ]
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {cls.id: cls for cls in ALL_RULES}

@@ -26,26 +26,16 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Set, Tuple
 
-from repro.analysis.core import Finding, Module, Project, Rule
+from repro.analysis.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    is_lock_guard as _is_lock_guard,
+    is_self_attr as _is_self_attr,
+)
 
 _CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__"})
-
-
-def _is_self_attr(node: ast.AST) -> bool:
-    return (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-    )
-
-
-def _is_lock_guard(item: ast.withitem) -> bool:
-    """``with self.<something-lock-ish>:`` (no ``as`` binding needed)."""
-    expr = item.context_expr
-    # Accept both ``with self._lock:`` and ``with self._lock.acquire_x():``
-    if isinstance(expr, ast.Call):
-        expr = expr.func
-    return _is_self_attr(expr) and "lock" in expr.attr.lower()
 
 
 class _MethodScanner(ast.NodeVisitor):

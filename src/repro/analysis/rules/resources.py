@@ -1,0 +1,282 @@
+"""RES001: acquired sockets/files/tempfiles must be released or handed off.
+
+A portal sized for millions of users dies by a thousand leaked file
+descriptors long before it dies of CPU.  This rule tracks, per function,
+every local variable bound to a resource acquisition -- ``socket.
+socket(...)``, ``socket.create_connection(...)``, ``open(...)``,
+``tempfile.*``, ``asyncio.open_connection(...)``, ``<sock>.accept()`` --
+and requires the function to do *something* terminal with it:
+
+* use it as a context manager (``with sock:`` / ``with open(...) as f``),
+* call a disposal method (``close``/``shutdown``/``abort``/``detach``/
+  ``cleanup``/``terminate``/``release``) on it,
+* or transfer ownership: return it, yield it, store it on ``self``/a
+  container, alias it, or pass it (bare) to another callable.
+
+The check is deliberately syntactic and conservative: a function that
+closes only on the happy path still passes (path-sensitivity is a v2
+concern); a function that *never* disposes or hands off on any path is
+a leak today, and that is the bug class this catches.  Tuple unpacking
+(``conn, addr = sock.accept()``, ``reader, writer = await asyncio.
+open_connection(...)``) tracks every bound name and is satisfied when
+any of them is disposed or transferred -- closing the writer closes the
+pair.  Receiver positions do not count as transfers: ``return
+sock.recv(4)`` returns bytes, not the socket.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, Module, Project, Rule, dotted_name
+from repro.analysis.callgraph import ProjectIndex
+
+#: Dotted calls that acquire an OS-level resource.
+_ACQUIRING_CALLS = frozenset(
+    {
+        "socket.socket",
+        "socket.create_connection",
+        "socket.socketpair",
+        "open",
+        "os.open",
+        "os.fdopen",
+        "tempfile.TemporaryFile",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.SpooledTemporaryFile",
+        "tempfile.TemporaryDirectory",
+        "tempfile.mkstemp",
+        "tempfile.mkdtemp",
+        "asyncio.open_connection",
+    }
+)
+
+#: ``<receiver>.<method>()`` acquisitions, gated on receiver spelling.
+_ACQUIRING_METHODS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("accept", ("sock", "listener", "conn", "server")),
+    ("makefile", ("sock", "listener", "conn")),
+    ("dup", ("sock", "conn")),
+)
+
+_DISPOSAL_METHODS = frozenset(
+    {
+        "close",
+        "shutdown",
+        "abort",
+        "detach",
+        "cleanup",
+        "terminate",
+        "release",
+        "wait_closed",
+    }
+)
+
+
+def _acquisition_of(node: ast.Call, aliases) -> Optional[str]:
+    """The resource kind acquired by this call, or None."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    resolved = aliases(name)
+    if resolved in _ACQUIRING_CALLS:
+        return resolved
+    if "." in name:
+        receiver, _, method = name.rpartition(".")
+        receiver_lower = receiver.lower()
+        for acquiring, hints in _ACQUIRING_METHODS:
+            if method == acquiring and any(
+                h in receiver_lower for h in hints
+            ):
+                return f"{name}()"
+    return None
+
+
+class _FunctionScanner:
+    """Track acquisitions and disposals/transfers in one function body."""
+
+    def __init__(self, aliases) -> None:
+        self.aliases = aliases
+        #: var -> (acquisition description, node) for tracked locals.
+        self.acquired: Dict[str, Tuple[str, ast.AST]] = {}
+        #: group id -> set of names bound by one acquisition (tuple
+        #: unpacking); disposing any member settles the group.
+        self.groups: Dict[str, Set[str]] = {}
+        self.settled: Set[str] = set()
+
+    def scan(self, fn: ast.AST) -> None:
+        for node in self._walk_scoped(fn):
+            if isinstance(node, ast.Assign):
+                self._scan_assign(node)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                self._scan_with(node)
+            elif isinstance(node, ast.Call):
+                self._scan_call(node)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = getattr(node, "value", None)
+                if value is not None:
+                    self._settle_bare_names(value)
+
+    @staticmethod
+    def _walk_scoped(fn: ast.AST):
+        """Walk the body without descending into nested defs."""
+        stack = list(ast.iter_child_nodes(fn))
+        while stack:
+            child = stack.pop()
+            yield child
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(child))
+
+    # -- acquisition -------------------------------------------------------
+
+    def _scan_assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if isinstance(value, ast.Await):
+            value = value.value
+        if isinstance(value, ast.Call):
+            what = _acquisition_of(value, self.aliases)
+            if what is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.acquired[target.id] = (what, value)
+                        self.groups[target.id] = {target.id}
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        names = [
+                            elt.id
+                            for elt in target.elts
+                            if isinstance(elt, ast.Name)
+                        ]
+                        group = set(names)
+                        for name in names:
+                            self.acquired[name] = (what, value)
+                            self.groups[name] = group
+                    else:
+                        # stored straight into an attribute/subscript:
+                        # ownership moved to the object, nothing to track
+                        pass
+                return
+        # plain assignment: rhs names escape into an alias -> transferred
+        self._settle_bare_names(node.value)
+
+    # -- disposal / transfer ----------------------------------------------
+
+    def _scan_with(self, node: ast.AST) -> None:
+        for item in node.items:  # type: ignore[attr-defined]
+            expr = item.context_expr
+            if isinstance(expr, ast.Name):
+                self.settled.add(expr.id)
+            # `with open(...) as f` acquires and disposes in one shape;
+            # the acquisition never lands in `acquired`, nothing to do.
+
+    def _scan_call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.attr in _DISPOSAL_METHODS
+        ):
+            self.settled.add(func.value.id)
+        for arg in node.args:
+            self._settle_bare_names(arg)
+        for keyword in node.keywords:
+            self._settle_bare_names(keyword.value)
+
+    def _settle_bare_names(self, expr: ast.AST) -> None:
+        """Names used as values (not as method receivers) escape."""
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Name):
+                self.settled.add(node.id)
+                continue
+            if isinstance(node, ast.Attribute):
+                # receiver position: `sock.recv(4)` does not hand off
+                # `sock`; skip the receiver Name but keep walking deeper
+                # receivers (`a.b[c].d` still exposes c).
+                if not isinstance(node.value, ast.Name):
+                    stack.append(node.value)
+                continue
+            if isinstance(node, ast.Call):
+                # the nested call's own argument names escape; its
+                # receiver does not (handled above when visited).
+                stack.extend(node.args)
+                stack.extend(k.value for k in node.keywords)
+                if not isinstance(node.func, (ast.Attribute, ast.Name)):
+                    stack.append(node.func)
+                elif isinstance(node.func, ast.Attribute) and not isinstance(
+                    node.func.value, ast.Name
+                ):
+                    stack.append(node.func.value)
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- verdict -----------------------------------------------------------
+
+    def leaks(self) -> List[Tuple[str, str, ast.AST]]:
+        out: List[Tuple[str, str, ast.AST]] = []
+        reported: Set[int] = set()
+        for name, (what, node) in self.acquired.items():
+            group = self.groups.get(name, {name})
+            if group & self.settled:
+                continue
+            if id(node) in reported:
+                continue
+            reported.add(id(node))
+            out.append((name, what, node))
+        return out
+
+
+class ResourceLifetimeRule(Rule):
+    id = "RES001"
+    name = "resource-lifetime"
+    description = (
+        "A socket/file/tempfile acquired in a function must be closed, "
+        "used as a context manager, returned, stored, or handed off."
+    )
+    version = "1.0"
+    requires_project_index = True
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        index: Optional[ProjectIndex] = getattr(self, "index", None)
+        if index is None:
+            return
+        table = None
+        for modname, tbl in index.tables.items():
+            if tbl.module.relpath == module.relpath:
+                table = tbl
+                break
+        if table is None:
+            return
+
+        def aliases(name: str) -> str:
+            expanded = table.resolve_alias(name)
+            return expanded if expanded is not None else name
+
+        for qualname, info in sorted(index.functions.items()):
+            if info.module != module.relpath:
+                continue
+            scanner = _FunctionScanner(aliases)
+            scanner.scan(info.node)
+            for name, what, node in sorted(
+                scanner.leaks(),
+                key=lambda leak: (
+                    getattr(leak[2], "lineno", 0),
+                    getattr(leak[2], "col_offset", 0),
+                ),
+            ):
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=getattr(node, "lineno", info.lineno),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    message=(
+                        f"{name} = {what} in {info.short}() is never "
+                        "closed, used as a context manager, returned, "
+                        "stored, or handed off -- a leaked descriptor "
+                        "on every call"
+                    ),
+                    severity=self.severity,
+                )

@@ -1,0 +1,33 @@
+"""ASY001 trigger: coroutines that reach blocking primitives inline."""
+
+import subprocess
+import time
+
+
+def _throttle() -> None:
+    time.sleep(0.05)
+
+
+def _refresh() -> None:
+    _throttle()
+
+
+async def handle_direct() -> None:
+    time.sleep(1.0)  # blocks the loop outright
+
+
+async def handle_transitive() -> None:
+    _refresh()  # -> _throttle -> time.sleep, two hops deep
+
+
+async def handle_subprocess() -> str:
+    proc = subprocess.run(["true"], capture_output=True)
+    return proc.stdout.decode()
+
+
+class Session:
+    def __init__(self, lock) -> None:
+        self._lock = lock
+
+    async def acquire_inline(self) -> None:
+        self._lock.acquire()  # parks the loop until the lock frees

@@ -1,0 +1,38 @@
+"""ASY002 near-miss: cross-domain traffic with double-checked locking."""
+
+import threading
+
+
+class PublishedView:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshot = None
+        self._worker = threading.Thread(target=self._publish_loop, daemon=True)
+
+    def _publish_loop(self) -> None:  # thread domain
+        while True:
+            with self._lock:
+                self._snapshot = {"fresh": True}  # locked write
+
+    async def current(self):  # loop domain
+        snapshot = self._snapshot  # lock-free probe: exempt because...
+        if snapshot is not None:
+            return snapshot
+        with self._lock:
+            return self._snapshot  # ...this method re-checks under the lock
+
+
+class LoopOnly:
+    """Both accesses on the loop: no cross-domain claim to enforce."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls = 0
+
+    async def record(self) -> None:
+        self._calls = self._calls + 1
+
+    def locked_snapshot(self) -> int:
+        with self._lock:
+            self._calls = self._calls  # a locked write, same domain
+            return self._calls

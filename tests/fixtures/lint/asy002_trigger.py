@@ -1,0 +1,24 @@
+"""ASY002 trigger: event loop and worker thread share unguarded state."""
+
+import threading
+
+
+class SharedCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshot = None
+        self._epoch = 0
+        self._worker = threading.Thread(target=self._refresh_loop, daemon=True)
+
+    def _refresh_loop(self) -> None:  # thread domain via Thread(target=...)
+        while True:
+            self._snapshot = {"fresh": True}  # unguarded write (thread)
+            self._epoch = self._epoch + 1  # unguarded write (thread)
+
+    async def read_side(self):  # loop domain
+        return self._snapshot, self._epoch  # unguarded reads (loop)
+
+    def locked_reset(self) -> None:
+        with self._lock:
+            self._snapshot = None
+            self._epoch = 0

@@ -1,0 +1,35 @@
+"""RES001 near-miss: every acquisition is closed, managed, or handed off."""
+
+import socket
+import tempfile
+
+
+def with_managed_socket(host: str, port: int) -> bytes:
+    with socket.create_connection((host, port)) as sock:
+        sock.sendall(b"ping")
+        return sock.recv(4)
+
+
+def close_on_error(host: str, port: int) -> bytes:
+    sock = socket.create_connection((host, port))
+    try:
+        sock.sendall(b"ping")
+        return sock.recv(4)
+    finally:
+        sock.close()
+
+
+def transfer_ownership(listener_sock, pool) -> None:
+    conn, _addr = listener_sock.accept()
+    pool.adopt(conn)  # bare-argument hand-off: the pool owns it now
+
+
+def return_acquired(host: str, port: int):
+    sock = socket.create_connection((host, port))
+    return sock  # the caller owns it now
+
+
+def tempfile_scratch() -> None:
+    scratch = tempfile.NamedTemporaryFile()
+    scratch.write(b"x")
+    scratch.close()

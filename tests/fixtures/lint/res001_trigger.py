@@ -1,0 +1,22 @@
+"""RES001 trigger: acquired resources that are never released."""
+
+import socket
+import tempfile
+
+
+def leak_client_socket(host: str, port: int) -> bytes:
+    sock = socket.create_connection((host, port), timeout=5.0)
+    sock.sendall(b"ping")
+    return sock.recv(4)  # returns bytes; the socket itself leaks
+
+
+def leak_accepted_connection(listener_sock) -> bytes:
+    conn, addr = listener_sock.accept()
+    banner = conn.recv(64)
+    return banner  # the accepted connection is abandoned open
+
+
+def leak_tempfile() -> str:
+    handle = tempfile.NamedTemporaryFile(delete=False)
+    handle.write(b"scratch")
+    return handle.name  # attribute read, not a transfer of the handle

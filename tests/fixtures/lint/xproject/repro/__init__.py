@@ -1,0 +1,1 @@
+"""Cross-module call-graph fixture package (tests/test_callgraph.py)."""

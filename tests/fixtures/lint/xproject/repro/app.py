@@ -1,0 +1,22 @@
+"""Coroutines whose blocking calls live one module away."""
+
+import asyncio
+
+from repro.io_layer import Store, fetch_slow
+
+
+def render(payload: str) -> dict:
+    return {"payload": payload}
+
+
+async def handle(url: str) -> dict:
+    return render(fetch_slow(url))  # cross-module chain to time.sleep
+
+
+async def handle_dispatch() -> object:
+    store = Store()
+    return store.dispatch("get")  # dynamic edge chain to time.sleep
+
+
+async def offloaded(url: str) -> str:
+    return await asyncio.to_thread(fetch_slow, url)  # executor hop: clean

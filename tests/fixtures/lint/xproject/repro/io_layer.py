@@ -1,0 +1,23 @@
+"""Blocking I/O helpers plus a dynamically dispatched store."""
+
+import time
+
+
+def fetch_slow(url: str) -> str:
+    time.sleep(0.5)
+    return url
+
+
+class Store:
+    def __init__(self) -> None:
+        self._items = {}
+
+    def dispatch(self, method: str):
+        handler = getattr(self, f"_do_{method}")
+        return handler()
+
+    def _do_get(self) -> str:
+        return fetch_slow("store://get")
+
+    def _do_put(self) -> None:
+        return None

@@ -1,0 +1,119 @@
+"""Whole-program index tests over a real multi-module fixture package.
+
+``tests/fixtures/lint/xproject`` is a miniature project whose blocking
+call lives one module away from the coroutine that reaches it, plus a
+dynamically dispatched class -- the shapes single-file fixtures cannot
+exercise: import resolution, cross-module edges, dynamic-dispatch
+closure, executor hops, and domain classification.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, Project, resolve_rules
+from repro.analysis.callgraph import (
+    DOMAIN_LOOP,
+    DOMAIN_THREAD,
+    ProjectIndex,
+    module_name_of,
+)
+from repro.analysis.dataflow import build_dataflow
+
+XPROJECT = Path(__file__).resolve().parent / "fixtures" / "lint" / "xproject"
+
+
+@pytest.fixture(scope="module")
+def project() -> Project:
+    return Project.load(XPROJECT)
+
+
+@pytest.fixture(scope="module")
+def index(project) -> ProjectIndex:
+    return ProjectIndex.build(project)
+
+
+def test_module_name_mapping():
+    assert module_name_of("repro/portal/views.py") == "repro.portal.views"
+    assert module_name_of("repro/__init__.py") == "repro"
+
+
+def test_symbols_cover_both_modules(index):
+    assert "repro.app.handle" in index.functions
+    assert "repro.io_layer.fetch_slow" in index.functions
+    assert "repro.io_layer.Store" in index.classes
+    assert index.functions["repro.app.handle"].is_async
+    assert not index.functions["repro.io_layer.fetch_slow"].is_async
+
+
+def test_cross_module_call_edge(index):
+    callees = {
+        edge.callee
+        for edge in index.edges["repro.app.handle"]
+        if edge.callee is not None
+    }
+    assert "repro.io_layer.fetch_slow" in callees
+    assert "repro.app.render" in callees
+
+
+def test_walk_sync_reaches_blocking_call_across_modules(index):
+    reached = {}
+    for fn, chain, _edge in index.walk_sync("repro.app.handle"):
+        reached[fn] = chain
+    assert "repro.io_layer.fetch_slow" in reached
+    assert reached["repro.io_layer.fetch_slow"] == (
+        "repro.app.handle",
+        "repro.io_layer.fetch_slow",
+    )
+    externals = {
+        edge.external
+        for edge in index.external_calls("repro.io_layer.fetch_slow")
+    }
+    assert "time.sleep" in externals
+
+
+def test_dynamic_dispatch_closure(index):
+    kinds = {
+        (edge.kind, edge.callee)
+        for edge in index.edges["repro.io_layer.Store.dispatch"]
+    }
+    assert ("dynamic", "repro.io_layer.Store._do_get") in kinds
+    assert ("dynamic", "repro.io_layer.Store._do_put") in kinds
+
+
+def test_walk_sync_stops_at_executor_hop(index):
+    reached = {fn for fn, _chain, _edge in index.walk_sync("repro.app.offloaded")}
+    assert "repro.io_layer.fetch_slow" not in reached
+
+
+def test_domains_classify_loop_and_executor_targets(index):
+    domains = index.domains()
+    assert DOMAIN_LOOP in domains["repro.app.handle"]
+    # fetch_slow is both called inline from coroutines and offloaded.
+    assert DOMAIN_THREAD in domains["repro.io_layer.fetch_slow"]
+    assert DOMAIN_LOOP in domains["repro.io_layer.fetch_slow"]
+
+
+def test_dataflow_summarises_store(project, index):
+    summaries = build_dataflow(project, index)
+    store = summaries["repro.io_layer.Store"]
+    assert store.lock_attrs == set()
+    attrs = store.by_attr()
+    assert "_items" in attrs
+
+
+def test_asy001_fires_across_modules_and_spares_offload(project):
+    report = Analyzer(resolve_rules(select=["ASY001"])).run(project)
+    by_message = {f.message for f in report.findings}
+    assert any(
+        "handle()" in message
+        and "fetch_slow -> time.sleep()" in message
+        for message in by_message
+    ), by_message
+    assert any(
+        "handle_dispatch()" in message and "Store.dispatch" in message
+        for message in by_message
+    ), by_message
+    assert not any("offloaded" in message for message in by_message)

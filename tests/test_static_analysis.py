@@ -43,9 +43,9 @@ BASELINE_PATH = REPO_ROOT / "lint_baseline.json"
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
 
 #: Rules whose baseline must be empty (ISSUE acceptance criteria).
-STRICT_RULES = ("DET001", "TEL001", "EXC001")
+STRICT_RULES = ("DET001", "TEL001", "EXC001", "RES001")
 #: Rules allowed a small justified baseline.
-DISCIPLINE_RULES = ("LCK001", "API001")
+DISCIPLINE_RULES = ("LCK001", "API001", "ASY001", "ASY002")
 
 
 def load_fixture_project(filename: str, relpath: str) -> Project:
@@ -141,6 +141,12 @@ FIXTURE_CASES = [
      "repro/portal/fixture.py", 2),
     ("API001", "api001_trigger.py", "api001_nearmiss.py",
      "repro/portal/fixture.py", 2),
+    ("ASY001", "asy001_trigger.py", "asy001_nearmiss.py",
+     "repro/portal/fixture.py", 3),
+    ("ASY002", "asy002_trigger.py", "asy002_nearmiss.py",
+     "repro/portal/fixture.py", 2),
+    ("RES001", "res001_trigger.py", "res001_nearmiss.py",
+     "repro/portal/fixture.py", 3),
 ]
 
 
@@ -202,6 +208,38 @@ def test_api001_covers_get_state_delta(tree_report):
     ]
 
 
+def test_analysis_package_lints_clean(tree_report):
+    """The analyzer holds itself to its own rules, with no baseline."""
+    own = [
+        finding
+        for finding in tree_report.findings
+        if finding.path.startswith("repro/analysis/")
+    ]
+    assert own == [], [finding.format() for finding in own]
+
+
+def test_asy001_finding_carries_reachability_chain():
+    """The message explains *why* the coroutine can block, hop by hop."""
+    findings = run_rule(
+        "ASY001", "asy001_trigger.py", "repro/portal/fixture.py"
+    )
+    transitive = [
+        f for f in findings if "handle_transitive" in f.message
+    ]
+    assert transitive, [f.format() for f in findings]
+    message = transitive[0].message
+    assert "handle_transitive -> _refresh -> _throttle -> time.sleep()" in message
+    assert "no executor hop" in message
+
+
+def test_asy001_findings_are_deterministic():
+    first = run_rule("ASY001", "asy001_trigger.py", "repro/portal/fixture.py")
+    second = run_rule("ASY001", "asy001_trigger.py", "repro/portal/fixture.py")
+    assert [f.format() for f in first] == [f.format() for f in second]
+    lines = [(f.path, f.line, f.col, f.message) for f in first]
+    assert lines == sorted(lines)
+
+
 # -- baseline round-trip ---------------------------------------------------
 
 
@@ -244,6 +282,76 @@ def test_baseline_rejects_unknown_version(tmp_path):
         Baseline.load(path)
 
 
+def test_baseline_loads_v1_without_stamps(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "findings": [
+                    {"rule": "LCK001", "path": "repro/x.py", "message": "m"}
+                ],
+            }
+        )
+    )
+    baseline = Baseline.load(path)
+    assert len(baseline.entries) == 1
+    assert baseline.rule_versions == {}
+    assert baseline.stale_versions({"LCK001": "1.0"}) == []
+
+
+def test_baseline_version_stamps_round_trip(tmp_path):
+    baseline = Baseline.from_findings([], rule_versions={"ASY001": "1.0"})
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    reloaded = Baseline.load(path)
+    assert reloaded.rule_versions == {"ASY001": "1.0"}
+    assert reloaded.stale_versions({"ASY001": "2.0"}) == [
+        ("ASY001", "1.0", "2.0")
+    ]
+
+
+def test_baseline_update_preserves_justifications():
+    findings = run_rule("LCK001", "lck001_trigger.py", "repro/x/fixture.py")
+    assert len(findings) >= 2
+    old = Baseline(
+        entries=[
+            BaselineEntry(
+                rule=findings[0].rule,
+                path=findings[0].path,
+                message=findings[0].message,
+                justification="reviewed and accepted",
+            ),
+            # An entry of a rule outside the run passes through untouched.
+            BaselineEntry(
+                rule="API001", path="repro/y.py", message="other",
+                justification="kept",
+            ),
+        ],
+        rule_versions={"LCK001": "0.9", "API001": "1.0"},
+    )
+    updated = old.updated(findings, {"LCK001": "1.0"}, selected={"LCK001"})
+    by_rule = updated.by_rule()
+    assert len(by_rule["LCK001"]) == len(findings)
+    carried = [e for e in by_rule["LCK001"] if e.justification]
+    assert [e.justification for e in carried] == ["reviewed and accepted"]
+    assert by_rule["API001"][0].justification == "kept"
+    assert updated.rule_versions == {"LCK001": "1.0", "API001": "1.0"}
+
+
+def test_baseline_restricted_to_selected_rules():
+    baseline = Baseline(
+        entries=[
+            BaselineEntry(rule="LCK001", path="a.py", message="m1"),
+            BaselineEntry(rule="ASY001", path="b.py", message="m2"),
+        ],
+        rule_versions={"LCK001": "1.0", "ASY001": "1.0"},
+    )
+    restricted = baseline.restricted_to({"LCK001"})
+    assert [e.rule for e in restricted.entries] == ["LCK001"]
+    assert restricted.rule_versions == {"LCK001": "1.0"}
+
+
 # -- CLI -------------------------------------------------------------------
 
 
@@ -279,8 +387,10 @@ def test_cli_json_output():
     assert set(document["counts"]) == {rule.id for rule in ALL_RULES}
     assert document["findings"] == []
     assert document["suppressed"] >= 1  # the checked-in LCK001 entry
-    assert document["baseline_unused"] == []
-    assert document["elapsed_seconds"] < 5.0
+    assert document["baseline_stale"] == []
+    assert document["elapsed_seconds"] < 30.0
+    # Per-rule timings, plus the shared index build, are reported.
+    assert set(document["timings"]) == {rule.id for rule in ALL_RULES} | {"index"}
 
 
 def test_cli_select_restricts_rules():
@@ -305,6 +415,76 @@ def test_cli_write_baseline_round_trip(tmp_path):
     # --write-baseline with the baseline disabled is a usage error.
     status, _text = run_cli("--baseline", "none", "--write-baseline")
     assert status == 2
+
+
+def test_cli_update_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    # Seed via --write-baseline, inject a justification, then update.
+    status, text = run_cli("--baseline", str(path), "--write-baseline")
+    assert status == 0, text
+    document = json.loads(path.read_text())
+    assert document["version"] == 2
+    assert document["rule_versions"]  # stamped for every rule that ran
+    for item in document["findings"]:
+        item["justification"] = "accepted: " + item["rule"]
+    path.write_text(json.dumps(document))
+    status, text = run_cli("--baseline", str(path), "--update-baseline")
+    assert status == 0, text
+    updated = json.loads(path.read_text())
+    assert updated["findings"], "tree findings should survive the update"
+    assert all(
+        item["justification"] == "accepted: " + item["rule"]
+        for item in updated["findings"]
+    ), updated["findings"]
+    status, text = run_cli("--baseline", str(path))
+    assert status == 0, text
+
+
+def test_cli_stale_baseline_entry_is_hard_error(tmp_path):
+    path = tmp_path / "baseline.json"
+    status, _text = run_cli("--baseline", str(path), "--write-baseline")
+    assert status == 0
+    document = json.loads(path.read_text())
+    document["findings"].append(
+        {
+            "rule": "LCK001",
+            "path": "repro/portal/views.py",
+            "message": "a finding that no longer exists",
+            "justification": "obsolete",
+        }
+    )
+    path.write_text(json.dumps(document))
+    status, text = run_cli("--baseline", str(path))
+    assert status == 1, text
+    assert "stale baseline entry" in text
+
+
+def test_cli_rule_version_mismatch_is_usage_error(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    status, _text = run_cli("--baseline", str(path), "--write-baseline")
+    assert status == 0
+    document = json.loads(path.read_text())
+    document["rule_versions"]["ASY001"] = "0.1"
+    path.write_text(json.dumps(document))
+    status, _text = run_cli("--baseline", str(path))
+    assert status == 2
+    stderr = capsys.readouterr().err
+    assert "ASY001" in stderr and "--update-baseline" in stderr
+    # A run that does not select the mismatched rule is unaffected.
+    status, _text = run_cli("--baseline", str(path), "--select", "LCK001")
+    assert status == 0
+
+
+def test_cli_text_output_reports_per_rule_timings():
+    status, text = run_cli()
+    assert status == 0, text
+    timing_lines = [
+        line for line in text.splitlines() if line.startswith("timings: ")
+    ]
+    assert len(timing_lines) == 1
+    for rule_cls in ALL_RULES:
+        assert f"{rule_cls.id}=" in timing_lines[0]
+    assert "index=" in timing_lines[0]
 
 
 def test_resolve_rules_raises_named_error():
