@@ -1,0 +1,223 @@
+"""Overload benchmark: admission control vs open-loop collapse.
+
+Drives the asyncio portal at 2x its capacity with the identical seeded
+open-loop workload, once **unprotected** (no overload config: every
+request is eventually served, queueing delay unbounded -- the classic
+open-loop collapse) and once **protected** (admission control shedding
+via the event-loop lag signal).  The iTracker's per-request view
+finishing is slowed to a fixed service time so capacity is small, known,
+and dominated by a deterministic cost rather than machine speed.
+
+The unprotected run doubles as the capacity measurement: an overloaded
+FIFO server still serves at its maximum rate (just with terrible
+latency), so its achieved QPS *is* the capacity of the box.  The
+acceptance bar from the issue:
+
+* the protected server retains >= 70% of that capacity as goodput
+  (served, non-shed responses per second), and
+* its served-request p99 stays bounded while the unprotected twin's p99
+  collapses (>= 2x the protected p99, and growing with the run length).
+
+Results are written to ``BENCH_overload.json`` at the repo root; a
+checked-in baseline (``benchmarks/baseline_overload.json``) pins the
+goodput-retention and p99-collapse *ratios* (machine-independent) and
+the test fails on a >25% regression.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.itracker import ITracker
+from repro.core.pdistance import uniform_pid_map
+from repro.network.generators import US_METROS, synthetic_isp
+from repro.observability import NULL_TELEMETRY
+from repro.portal.aserver import AsyncPortalServer
+from repro.portal.overload import OverloadConfig
+from repro.workloads.loadgen import (
+    OUTCOME_SERVED,
+    OUTCOME_SHED,
+    LoadSpec,
+    build_schedule,
+    run,
+)
+
+from conftest import print_rows
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_overload.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_overload.json"
+
+#: Allowed fractional drop below the checked-in baseline ratios.
+REGRESSION_BUDGET = 0.25
+#: The issue's acceptance bar: protected goodput vs measured capacity.
+GOODPUT_RETENTION_FLOOR = 0.70
+#: ... and the unprotected p99 must exceed the protected p99 by this.
+COLLAPSE_RATIO_FLOOR = 2.0
+#: Absolute sanity bound on the protected served p99 (the shed cycle
+#: bounds the loop backlog; without admission control this is seconds).
+PROTECTED_P99_BOUND = 1.2
+
+#: Fixed per-request view-finishing cost: makes capacity ~1/SERVICE
+#: requests/second on one worker loop regardless of machine speed.
+SERVICE_TIME = 0.003
+#: Offered load multiple of (measured) capacity.
+OVERLOAD_MULTIPLE = 2.0
+OFFERED_RATE = OVERLOAD_MULTIPLE / SERVICE_TIME  # ~2x the nominal capacity
+DURATION = 1.5
+CONNECTIONS = 16
+
+
+class _SlowITracker(ITracker):
+    """An iTracker whose per-request view finishing takes a fixed,
+    deliberate service time -- the controlled bottleneck under test."""
+
+    def finish_view(self, view, version=None):
+        time.sleep(SERVICE_TIME)
+        return super().finish_view(view, version=version)
+
+
+def _itracker() -> ITracker:
+    topology = synthetic_isp(
+        name="OVERLOAD",
+        n_pops=24,
+        metros=US_METROS,
+        n_hubs=6,
+        as_number=65001,
+        seed=5,
+    )
+    return _SlowITracker(
+        topology=topology,
+        pid_map=uniform_pid_map(topology),
+        telemetry=NULL_TELEMETRY,
+    )
+
+
+def _protected_config() -> OverloadConfig:
+    return OverloadConfig(
+        enabled=True,
+        inflight_budget=8,
+        queue_budget=8,
+        max_queue_delay=0.2,
+        codel_target=0.03,
+        codel_interval=0.1,
+        retry_after=0.1,
+        probe_interval=0.02,
+    )
+
+
+def _measure(overload, spec: LoadSpec, schedule, pid_pool):
+    with AsyncPortalServer(
+        _itracker(), workers=1, telemetry=NULL_TELEMETRY, overload=overload
+    ) as server:
+        # Pre-warm: publish the first view snapshot out of band so the
+        # measured window starts with a warm publisher on both servers.
+        warm = LoadSpec(
+            connections=1,
+            rate=50.0,
+            duration=0.05,
+            seed=1,
+            method_mix=(("get_pdistances", 1.0),),
+            pids_fraction=1.0,
+            pids_max=4,
+            pid_pool=pid_pool,
+        )
+        run(warm, server.address)
+        return run(spec, server.address, schedule=schedule)
+
+
+@pytest.mark.perf
+def test_overload_shedding_retains_goodput_and_bounds_latency():
+    baseline = json.loads(BASELINE_PATH.read_text())["ratios"]
+    pid_pool = tuple(_itracker().get_pdistances().pids)
+    spec = LoadSpec(
+        connections=CONNECTIONS,
+        rate=OFFERED_RATE,
+        duration=DURATION,
+        seed=3,
+        method_mix=(("get_pdistances", 1.0),),
+        pids_fraction=1.0,
+        pids_max=4,
+        pid_pool=pid_pool,
+    )
+    schedule = build_schedule(spec)
+
+    unprotected = _measure(None, spec, schedule, pid_pool)
+    protected = _measure(_protected_config(), spec, schedule, pid_pool)
+
+    assert unprotected.errors == 0 and protected.errors == 0
+    # The unprotected server serves everything (eventually): its QPS is
+    # the capacity of the box under this service time.
+    capacity = unprotected.qps
+    assert unprotected.outcomes[OUTCOME_SERVED]["count"] == len(schedule)
+    shed = protected.outcomes.get(OUTCOME_SHED, {}).get("count", 0)
+    assert shed > 0, "2x capacity must push the protected server into shedding"
+
+    protected_p99 = protected.outcomes[OUTCOME_SERVED]["p99"]
+    unprotected_p99 = unprotected.outcomes[OUTCOME_SERVED]["p99"]
+    retention = protected.goodput / capacity
+    collapse_ratio = unprotected_p99 / max(protected_p99, 1e-9)
+
+    rows = [
+        f"unprotected {unprotected.qps:8.1f} qps  "
+        f"served p99 {unprotected_p99 * 1000:9.1f}ms  (capacity probe)",
+        f"protected   {protected.qps:8.1f} qps  "
+        f"goodput {protected.goodput:8.1f} qps  "
+        f"served p99 {protected_p99 * 1000:9.1f}ms  {shed} shed",
+        f"goodput retention {retention:6.1%}   "
+        f"p99 collapse ratio {collapse_ratio:5.2f}x",
+    ]
+    print_rows("portal overload control (2x capacity, open loop)", rows)
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "portal-overload-control",
+                "offered_multiple": OVERLOAD_MULTIPLE,
+                "service_time_seconds": SERVICE_TIME,
+                "requests": len(schedule),
+                "capacity_qps": round(capacity, 3),
+                "unprotected": unprotected.to_document(),
+                "protected": protected.to_document(),
+                "ratios": {
+                    "goodput_retention": round(retention, 4),
+                    "p99_collapse": round(collapse_ratio, 3),
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Acceptance bars (the issue's shed-not-collapse criteria).
+    assert retention >= GOODPUT_RETENTION_FLOOR, (
+        f"protected goodput {protected.goodput:.1f} qps is only "
+        f"{retention:.1%} of the {capacity:.1f} qps capacity; the bar is "
+        f"{GOODPUT_RETENTION_FLOOR:.0%}"
+    )
+    assert protected_p99 <= PROTECTED_P99_BOUND, (
+        f"protected served p99 {protected_p99:.3f}s exceeds the "
+        f"{PROTECTED_P99_BOUND}s bound -- admission control is not "
+        f"bounding queueing delay"
+    )
+    assert collapse_ratio >= COLLAPSE_RATIO_FLOOR, (
+        f"unprotected p99 {unprotected_p99:.3f}s vs protected "
+        f"{protected_p99:.3f}s ({collapse_ratio:.2f}x): the unprotected "
+        f"twin did not visibly collapse, so the scenario proves nothing"
+    )
+
+    # Regression gate vs the checked-in baseline ratios.
+    for name, measured in (
+        ("goodput_retention", retention),
+        ("p99_collapse", collapse_ratio),
+    ):
+        expected = baseline[name]
+        floor = (1.0 - REGRESSION_BUDGET) * expected
+        assert measured >= floor, (
+            f"{name}: {measured:.3f} regressed more than "
+            f"{REGRESSION_BUDGET:.0%} below the baseline {expected:.3f} "
+            f"(floor {floor:.3f}); if intentional, update "
+            f"benchmarks/baseline_overload.json"
+        )

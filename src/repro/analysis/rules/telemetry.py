@@ -83,6 +83,7 @@ DECLARED_SPANS = frozenset(
         "itracker.handle",  # server-side method handler execution
         "itracker.price_update",  # one dynamic price-update step
         "portal.dispatch",  # server-side request dispatch
+        "portal.drain",  # graceful drain: stop accepting, bound the backlog
         "portal.view_publish",  # sharded view snapshot computation + publication
         "replica.sync",  # standby replica delta pull
         "resilient.fetch",  # fetch+validate of one fresh view

@@ -139,6 +139,7 @@ class ResilienceCounters:
     unavailable: int = 0
     reconnects: int = 0
     native_fallbacks: int = 0
+    busy_backoffs: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -150,6 +151,7 @@ class ResilienceCounters:
             "unavailable": self.unavailable,
             "reconnects": self.reconnects,
             "native_fallbacks": self.native_fallbacks,
+            "busy_backoffs": self.busy_backoffs,
         }
 
     def reset(self) -> None:

@@ -93,6 +93,7 @@ class RegistryResilienceCounters:
         "unavailable",
         "reconnects",
         "native_fallbacks",
+        "busy_backoffs",
     )
 
     def __init__(
@@ -142,6 +143,12 @@ class RegistryResilienceCounters:
             "native_fallbacks": registry.gauge(
                 "p4p_resilience_native_fallbacks",
                 "Selections degraded to native for lack of guidance.",
+                labelnames,
+            ),
+            "busy_backoffs": registry.gauge(
+                "p4p_resilience_busy_backoffs",
+                "Backoffs honoring a server busy/retry_after hint "
+                "(overload shedding, not counted as breaker failures).",
                 labelnames,
             ),
         }

@@ -52,6 +52,7 @@ from repro.core.itracker import ITracker
 from repro.observability import SLO, Telemetry
 from repro.portal import protocol
 from repro.portal.dispatch import PortalDispatcher
+from repro.portal.overload import OverloadConfig
 from repro.portal.views import ViewPublisher
 
 __all__ = ["AsyncPortalServer"]
@@ -86,6 +87,7 @@ class _Worker:
         self.connections: set = set()
         self.started = threading.Event()
         self._stop: Optional[asyncio.Event] = None
+        self.listener: Optional[asyncio.AbstractServer] = None
         self.thread = threading.Thread(
             target=self._run, name=f"p4p-aportal-{index}", daemon=True
         )
@@ -111,17 +113,24 @@ class _Worker:
 
     async def _main(self) -> None:
         self._stop = asyncio.Event()
-        listener = None
         if self.sock is not None:
-            listener = await asyncio.start_server(
+            self.listener = await asyncio.start_server(
                 functools.partial(self.server._serve_connection, self),
                 sock=self.sock,
             )
+        probe = None
+        if self.server.overload.enabled:
+            # The event loop's scheduling lag *is* this worker's queueing
+            # delay (dispatch runs on-loop): a probe task feeds it to the
+            # admission controller's CoDel signal.
+            probe = self.loop.create_task(self._lag_probe())
         self.started.set()
         await self._stop.wait()
-        if listener is not None:
-            listener.close()
-            await listener.wait_closed()
+        if probe is not None:
+            probe.cancel()
+        if self.listener is not None:
+            self.listener.close()
+            await self.listener.wait_closed()
         # Sever established connections exactly like the threaded
         # server's close(): a dead portal must not answer from beyond
         # the grave (chaos harness / client reconnect logic rely on it).
@@ -130,6 +139,16 @@ class _Worker:
             if transport is not None:
                 transport.abort()
         await asyncio.sleep(0)
+
+    async def _lag_probe(self) -> None:
+        governor = self.server.overload
+        interval = governor.config.probe_interval
+        clock = governor.clock
+        while True:
+            before = clock()
+            await asyncio.sleep(interval)
+            lag = max(0.0, clock() - before - interval)
+            governor.observe_delay(lag)
 
     def stop(self) -> None:
         if self.loop.is_closed():
@@ -143,6 +162,24 @@ class _Worker:
             self.loop.call_soon_threadsafe(_signal)
         except RuntimeError:
             pass
+
+    def stop_accepting(self) -> None:
+        """Drain phase one: close this worker's listener, keep serving
+        the connections it already owns.  Blocks (bounded) until the
+        loop has actually closed the socket -- drain() promises that new
+        connects are refused by the time it returns."""
+        done = threading.Event()
+
+        def _close() -> None:
+            if self.listener is not None:
+                self.listener.close()
+            done.set()
+
+        try:
+            self.loop.call_soon_threadsafe(_close)
+        except RuntimeError:
+            return
+        done.wait(timeout=1.0)
 
     def adopt(self, conn: socket.socket) -> None:
         """Dispatcher-fed accept: take ownership of an accepted socket."""
@@ -175,6 +212,7 @@ class AsyncPortalServer(PortalDispatcher):
         accept_model: str = "auto",
         view_shards: int = 8,
         backlog: int = 128,
+        overload: Optional[OverloadConfig] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -187,6 +225,7 @@ class AsyncPortalServer(PortalDispatcher):
             telemetry=telemetry,
             staleness_provider=staleness_provider,
             slos=slos,
+            overload=overload,
         )
         if accept_model == "auto":
             accept_model = "reuseport" if _reuseport_available() else "dispatcher"
@@ -201,6 +240,12 @@ class AsyncPortalServer(PortalDispatcher):
             "p4p_portal_worker_connections",
             "Connections currently owned by each serving-plane worker.",
             ("worker",),
+        )
+        self._close_leaks = registry.counter(
+            "p4p_server_close_leaks_total",
+            "Threads still alive after close() exhausted its join "
+            "timeout, by thread kind.",
+            ("kind",),
         )
         # Off-loop pool for stale-view computation (and its coalesced
         # waiters); sized past the worker count so one slow compute plus
@@ -295,13 +340,46 @@ class AsyncPortalServer(PortalDispatcher):
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        governor = self.overload
+        config = governor.config
+        if not governor.try_open_connection():
+            # Over the cap: one cheap busy frame (so a well-behaved
+            # client backs off instead of reconnect-storming), then sever.
+            governor.count_connection_reject("cap")
+            try:
+                writer.write(
+                    protocol.encode_frame(
+                        protocol.busy_error(
+                            "connection limit reached", config.retry_after
+                        )
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+            return
         gauge = self._worker_connections.labels(worker=str(worker.index))
         worker.connections.add(writer)
         gauge.inc()
+        served = 0
         try:
             while True:
                 try:
-                    framed = await protocol.aread_frame_ex(reader)
+                    framed = await protocol.aread_frame_ex(
+                        reader,
+                        idle_timeout=config.idle_timeout,
+                        frame_timeout=config.frame_timeout,
+                    )
+                except protocol.IdleTimeoutError:
+                    governor.count_connection_reject("idle")
+                    break
+                except protocol.SlowReaderError:
+                    governor.count_connection_reject("slow_reader")
+                    break
                 except (protocol.ProtocolError, ConnectionError, OSError):
                     # Torn/oversized/malformed frame or a peer reset: the
                     # threaded server severs here, so must we.
@@ -309,8 +387,14 @@ class AsyncPortalServer(PortalDispatcher):
                 if framed is None:
                     break
                 message, frame_bytes = framed
+                # Receipt stamp only for deadline-carrying requests:
+                # legacy traffic must not pay an extra clock read (the
+                # traced scenario pins clock cadence).
+                received_at = (
+                    self.telemetry.clock() if "deadline" in message else None
+                )
                 self._bytes_in.inc(frame_bytes)
-                response = await self._adispatch(message)
+                response = await self._adispatch(message, received_at)
                 payload = protocol.encode_frame(response)
                 self._bytes_out.inc(len(payload))
                 writer.write(payload)
@@ -318,57 +402,141 @@ class AsyncPortalServer(PortalDispatcher):
                     await writer.drain()
                 except (ConnectionError, OSError):
                     break
+                served += 1
+                if (
+                    config.connection_request_budget is not None
+                    and served >= config.connection_request_budget
+                ):
+                    # Recycle long-lived connections so governance changes
+                    # (caps, drain) reach clients that never disconnect.
+                    governor.count_connection_reject("request_budget")
+                    break
         finally:
             worker.connections.discard(writer)
             gauge.dec()
+            governor.connection_closed()
             try:
                 writer.close()
             except (ConnectionError, OSError):
                 pass
 
-    async def _adispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Dispatch one message on the event loop.
+    async def _adispatch(
+        self,
+        message: Dict[str, Any],
+        received_at: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Admission-gated dispatch of one message on the event loop.
 
         Handlers are microsecond-scale once the view snapshot is
         current; the only heavyweight step -- recomputing the view after
         a price update -- is offloaded to the executor, where concurrent
-        identical requests coalesce onto a single computation.
+        identical requests coalesce onto a single computation.  Nothing
+        here may block, so admission never queues (``may_queue=False``):
+        when the loop lags, arrivals are shed with a busy frame *before*
+        any dispatch work, which is what restores capacity.
         """
-        method = message.get("method")
-        if method in _VIEW_METHODS and not self.publisher.is_current():
-            loop = asyncio.get_running_loop()
-            try:
-                await loop.run_in_executor(self._executor, self.publisher.current)
-            except Exception:
-                # The handler will hit the same failure synchronously and
-                # dispatch() turns it into a structured error frame.
-                logger.debug(
-                    "view publication failed; %s will surface the error "
-                    "synchronously",
-                    method,
-                    exc_info=True,
+        governor = self.overload
+        admitted = False
+        if governor.enabled or governor.draining:
+            outcome = governor.admit(may_queue=False)
+            if outcome.shed:
+                return protocol.busy_error(
+                    f"request shed ({outcome.value})",
+                    governor.retry_after(outcome),
                 )
-        return self.dispatch(message)
+            admitted = True
+        try:
+            method = message.get("method")
+            if method in _VIEW_METHODS and not self.publisher.is_current():
+                if governor.brownout_active and self.publisher.has_published():
+                    # Brownout: skip the re-aggregation entirely -- the
+                    # view handlers below fall back to the stale
+                    # published snapshot.
+                    pass
+                else:
+                    loop = asyncio.get_running_loop()
+                    try:
+                        await loop.run_in_executor(
+                            self._executor, self.publisher.current
+                        )
+                    except Exception:
+                        # The handler will hit the same failure
+                        # synchronously and dispatch() turns it into a
+                        # structured error frame.
+                        logger.debug(
+                            "view publication failed; %s will surface the "
+                            "error synchronously",
+                            method,
+                            exc_info=True,
+                        )
+            return self.dispatch(message, received_at=received_at)
+        finally:
+            if admitted:
+                governor.release()
 
     # -- view handlers (served from the published snapshot) ----------------
+    # During brownout each handler tries the last *published* snapshot
+    # first (availability over freshness, responses explicitly marked
+    # ``degraded``); the fresh path is the fallback, not the default.
 
     def _do_get_pdistances(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        view = self.publisher.view(params.get("pids"))
+        pids = params.get("pids")
+        if self.overload.brownout_active:
+            stale = self.publisher.stale_view(pids)
+            if stale is not None:
+                return protocol.pdistance_to_wire(stale)
+        view = self.publisher.view(pids)
         return protocol.pdistance_to_wire(view)
 
     def _do_get_alto_costmap(self, params: Dict[str, Any]) -> Dict[str, Any]:
         from repro.portal import alto
 
         mode = params.get("mode", alto.NUMERICAL)
-        view = self.publisher.view(params.get("pids"))
+        pids = params.get("pids")
+        view = None
+        if self.overload.brownout_active:
+            view = self.publisher.stale_view(pids)
+        if view is None:
+            view = self.publisher.view(pids)
         return alto.cost_map_document(
             view, mode=mode, map_vtag=f"p4p-{self.itracker.version}"
         )
 
     # -- lifecycle ---------------------------------------------------------
 
-    def close(self) -> None:
-        """Stop accepting, sever every connection, and join the workers."""
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown, phase one: stop accepting, bound the rest.
+
+        Closes every listener (new connects are refused), flips the
+        governor to draining (requests still arriving on established
+        connections are shed with a ``busy`` frame carrying a
+        reconnect-later hint), and waits -- bounded -- for admitted work
+        to finish.  Returns whether the backlog reached zero inside the
+        bound; either way the caller follows with :meth:`close` to sever
+        what remains.  This is the hand-off point for replication
+        failover: drain the primary, promote the standby, then close.
+        """
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for worker in self._workers:
+            worker.stop_accepting()
+        self.overload.start_drain()
+        traces = self.telemetry.traces
+        span = traces.start("portal.drain")
+        drained = self.overload.wait_drained(timeout)
+        traces.finish(span.set(complete=drained))
+        return drained
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop accepting, sever every connection, and join the workers.
+
+        A join that times out is a leaked thread, not a clean close:
+        it is logged and counted (``p4p_server_close_leaks_total``)
+        instead of silently ignored, so tests and operators see it.
+        """
         if self._closed:
             return
         self._closed = True
@@ -380,9 +548,24 @@ class AsyncPortalServer(PortalDispatcher):
         for worker in self._workers:
             worker.stop()
         for worker in self._workers:
-            worker.thread.join(timeout=5.0)
+            worker.thread.join(timeout=join_timeout)
+            if worker.thread.is_alive():
+                logger.warning(
+                    "worker %d thread %r still alive %.1fs after close()",
+                    worker.index,
+                    worker.thread.name,
+                    join_timeout,
+                )
+                self._close_leaks.labels(kind="worker").inc()
         if self._acceptor is not None:
-            self._acceptor.join(timeout=5.0)
+            self._acceptor.join(timeout=join_timeout)
+            if self._acceptor.is_alive():
+                logger.warning(
+                    "acceptor thread %r still alive %.1fs after close()",
+                    self._acceptor.name,
+                    join_timeout,
+                )
+                self._close_leaks.labels(kind="acceptor").inc()
         self._executor.shutdown(wait=False)
 
     def __enter__(self) -> "AsyncPortalServer":

@@ -48,6 +48,26 @@ class PortalTimeoutError(PortalTransportError):
     """
 
 
+class PortalBusyError(PortalClientError):
+    """The server shed this request under overload (``busy`` frame).
+
+    Deliberately *not* a transport error: the server is alive and
+    explicitly asking for backoff, so retry policies honor
+    :attr:`retry_after` instead of counting a fault against the breaker
+    (see :mod:`repro.portal.resilience`).
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        #: Server's backoff hint in seconds (None when the frame carried
+        #: none, or carried garbage -- the hint is advisory).
+        self.retry_after = retry_after
+
+
+class PortalDeadlineExceededError(PortalClientError):
+    """The server abandoned the request because its deadline passed."""
+
+
 class DiscoveryError(PortalClientError):
     """No iTracker is registered for the requested domain."""
 
@@ -69,6 +89,7 @@ class PortalClient:
         timeout: float = 5.0,
         telemetry: Optional[Any] = None,
         tracer: Optional[Any] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self._address = (host, port)
         self._timeout = timeout
@@ -76,6 +97,10 @@ class PortalClient:
         self._cached_view: Optional[PDistanceMap] = None
         self._cached_version: Optional[int] = None
         self._telemetry = telemetry
+        #: Per-request deadline budget (seconds) stamped on every frame's
+        #: ``deadline`` envelope; the server abandons work it cannot
+        #: answer inside the budget.  None: frames carry no deadline.
+        self.deadline = deadline
         #: Optional :class:`repro.observability.Tracer`.  When set, every
         #: RPC becomes a ``client.call`` span (continuing the caller's
         #: active trace when one exists) and its context rides the
@@ -149,6 +174,8 @@ class PortalClient:
         slow -- retrying doubles the wait for nothing).
         """
         message = protocol.request(method, **params)
+        if self.deadline is not None:
+            protocol.attach_deadline(message, self.deadline)
         tracer = self.tracer
         if tracer is None:
             return self._transact(protocol.encode_frame(message), None)
@@ -187,6 +214,15 @@ class PortalClient:
         if response is None:
             raise PortalTransportError("server closed the connection")
         if "error" in response:
+            if response.get("busy"):
+                hint = response.get("retry_after")
+                if isinstance(hint, bool) or not isinstance(hint, (int, float)):
+                    hint = None
+                elif hint <= 0:
+                    hint = None
+                raise PortalBusyError(response["error"], retry_after=hint)
+            if response.get("deadline_exceeded"):
+                raise PortalDeadlineExceededError(response["error"])
             raise PortalClientError(response["error"])
         return response.get("result")
 

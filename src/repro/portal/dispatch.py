@@ -44,6 +44,7 @@ from repro.observability.tracing import (
     reset_active,
 )
 from repro.portal import protocol
+from repro.portal.overload import AdmissionOutcome, OverloadConfig, OverloadGovernor
 
 logger = logging.getLogger(__name__)
 
@@ -68,6 +69,7 @@ class PortalDispatcher:
         telemetry: Optional[Telemetry] = None,
         staleness_provider: Optional[Callable[[], Optional[float]]] = None,
         slos: Optional[Sequence[SLO]] = None,
+        overload: Optional[OverloadConfig] = None,
     ):
         self.itracker = itracker
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -119,11 +121,36 @@ class PortalDispatcher:
         # remote span; requests without one stay on the untraced path.
         self._trace_enabled = not isinstance(self.telemetry.traces, NullTraceBuffer)
         self._tracer = Tracer(self.telemetry.traces)
+        # Overload governance: disabled by default (admission always
+        # admits, governance timeouts stay off), so existing servers and
+        # the conformance suite see unchanged behaviour; the transports
+        # wire admission/drain around dispatch, while dispatch itself
+        # enforces deadlines and brownout method gating.
+        self.overload = OverloadGovernor(
+            overload if overload is not None else OverloadConfig(enabled=False),
+            telemetry=self.telemetry,
+        )
+
+    def force_brownout(self, active: Optional[bool]) -> None:
+        """Operator override: pin brownout on/off, or ``None`` to resume
+        automatic entry/exit driven by the shedding signal."""
+        self.overload.force_brownout(active)
 
     # -- dispatch -----------------------------------------------------------
 
-    def dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Route one request message to the iTracker; never raises."""
+    def dispatch(
+        self,
+        message: Dict[str, Any],
+        received_at: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Route one request message to the iTracker; never raises.
+
+        ``received_at`` is when the transport finished reading the frame
+        (on ``telemetry.clock``); with a ``deadline`` envelope it lets
+        dispatch abandon work whose answer nobody is waiting for anymore
+        instead of computing-then-discarding it.  Callers without frame
+        timing (tests, the fuzzer) omit it and deadlines never fire.
+        """
         method = message.get("method")
         # Only known method names become label values (bounded cardinality);
         # everything else shares the "<unknown>" series.
@@ -148,7 +175,23 @@ class PortalDispatcher:
         started = clock()
         self._inflight.inc()
         try:
-            response = self._dispatch_inner(method, handler, message)
+            budget = protocol.deadline_budget(message)
+            if (
+                received_at is not None
+                and budget is not None
+                and started - received_at >= budget
+            ):
+                # The caller has already given up: answer with a cheap
+                # structured frame instead of computing a result nobody
+                # will read (the whole point of carrying the deadline).
+                self.overload.count_deadline_drop()
+                self._errors.labels(method=label, kind="deadline").inc()
+                response = protocol.deadline_error(
+                    "deadline exceeded before dispatch "
+                    f"(budget {budget:.3f}s)"
+                )
+            else:
+                response = self._dispatch_inner(method, handler, message)
         finally:
             elapsed = clock() - started
             self._inflight.dec()
@@ -157,6 +200,11 @@ class PortalDispatcher:
             if span is not None:
                 reset_active(token)
                 self._tracer.buffer.finish(span)
+        if self.overload.brownout_active and "error" not in response:
+            # Successful answers produced during brownout carry an explicit
+            # degradation marker so clients can tell stale-but-available
+            # guidance from fresh guidance.
+            response["degraded"] = "brownout"
         if span is not None and "error" in response:
             span.set(error="response-error")
         if self._slo is not None:
@@ -174,6 +222,19 @@ class PortalDispatcher:
         try:
             if handler is None:
                 raise PortalRequestError(f"unknown method {method!r}")
+            if (
+                self.overload.brownout_active
+                and method in self.overload.config.brownout_methods
+            ):
+                # Brownout gates expensive non-view methods before any
+                # validation or handler work: the cheap busy frame is the
+                # degradation, computed work would defeat it.
+                self._errors.labels(method=label, kind="brownout").inc()
+                self.overload.count_brownout_reject()
+                return protocol.busy_error(
+                    f"method {method!r} temporarily disabled (brownout)",
+                    self.overload.retry_after(AdmissionOutcome.SHED_BROWNOUT),
+                )
             # Schema gate: unknown/missing/ill-typed params are rejected
             # before the handler runs (ValueError -> request error below).
             protocol.validate_params(method, params)

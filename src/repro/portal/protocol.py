@@ -15,14 +15,32 @@ lint rule are unaffected; servers that predate tracing ignore it, and a
 malformed envelope is ignored rather than rejected (tracing must never
 fail a request).
 
+The optional top-level ``deadline`` envelope (:func:`attach_deadline`)
+works the same way: a relative budget in seconds, measured by the server
+from frame receipt, past which the request is abandoned with a
+``deadline_exceeded`` error frame instead of computed-then-discarded.
+Old servers ignore it; a malformed budget is ignored rather than
+rejected (:func:`deadline_budget` parses tolerantly).
+
+Responses are either ``{"result": ...}`` or ``{"error": ...}``; under
+overload the error frame is structured further: :func:`busy_error` adds
+``busy: true`` and a ``retry_after`` hint (seconds), and
+:func:`deadline_error` adds ``deadline_exceeded: true``.  A server in
+brownout marks every response with ``degraded``.  The closed envelope
+catalogs (:data:`REQUEST_ENVELOPE_KEYS`, :data:`RESPONSE_ENVELOPE_KEYS`)
+are what the conformance suite checks every frame against -- a new
+top-level key that is not declared here is a wire-contract bug.
+
 Frame format: 4-byte big-endian payload length, then UTF-8 JSON.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import socket
 import struct
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.pdistance import PDistanceMap
@@ -32,9 +50,31 @@ _HEADER = struct.Struct(">I")
 #: Maximum accepted frame size (guards against garbage input).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
+#: Every top-level key a request frame may carry.  ``method``/``params``
+#: are the RPC itself; ``trace`` and ``deadline`` are optional envelopes
+#: old servers ignore.
+REQUEST_ENVELOPE_KEYS = frozenset({"method", "params", "trace", "deadline"})
+
+#: Every top-level key a response frame may carry.  ``busy``,
+#: ``retry_after``, and ``deadline_exceeded`` qualify an ``error``
+#: (overload shed / server-side deadline drop); ``degraded`` marks
+#: brownout responses.  The conformance suite pins this catalog.
+RESPONSE_ENVELOPE_KEYS = frozenset(
+    {"result", "error", "busy", "retry_after", "deadline_exceeded", "degraded"}
+)
+
 
 class ProtocolError(Exception):
     """Malformed frame or message."""
+
+
+class IdleTimeoutError(ProtocolError):
+    """No frame started within the connection's idle timeout."""
+
+
+class SlowReaderError(ProtocolError):
+    """A started frame did not arrive in full within its read budget
+    (the slowloris defence: a trickling peer must not pin a worker)."""
 
 
 def encode_frame(message: Dict[str, Any]) -> bytes:
@@ -52,16 +92,53 @@ def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
 
 def read_frame_ex(
     sock: socket.socket,
+    idle_timeout: Optional[float] = None,
+    frame_timeout: Optional[float] = None,
 ) -> Optional[Tuple[Dict[str, Any], int]]:
     """Like :func:`read_frame` but also returns the wire size in bytes
-    (header + payload) -- what byte-accounting instrumentation needs."""
-    header = _read_exact(sock, _HEADER.size, allow_eof=True)
+    (header + payload) -- what byte-accounting instrumentation needs.
+
+    ``idle_timeout`` bounds the wait for a frame to *start* (raises
+    :class:`IdleTimeoutError`); ``frame_timeout`` bounds how long a
+    started frame -- first byte seen -- may take to arrive in full,
+    header included, so a slowloris peer trickling partial headers is
+    severed too (raises :class:`SlowReaderError`).  Both default to
+    ``None`` -- the caller's own socket timeout semantics are untouched,
+    which is what the client path relies on.
+    """
+    if idle_timeout is not None:
+        sock.settimeout(idle_timeout)
+    deadline = None
+    if frame_timeout is None:
+        try:
+            header = _read_exact(sock, _HEADER.size, allow_eof=True)
+        except socket.timeout as exc:
+            if idle_timeout is None:
+                raise
+            raise IdleTimeoutError("connection idle past timeout") from exc
+    else:
+        # A frame "starts" at its first byte: the idle budget covers the
+        # wait for that byte, the frame budget everything after it.
+        try:
+            first = _read_exact(sock, 1, allow_eof=True)
+        except socket.timeout as exc:
+            if idle_timeout is None:
+                raise
+            raise IdleTimeoutError("connection idle past timeout") from exc
+        if first is None:
+            return None
+        deadline = time.monotonic() + frame_timeout
+        rest = _read_exact(
+            sock, _HEADER.size - 1, allow_eof=False, deadline=deadline
+        )
+        assert rest is not None
+        header = first + rest
     if header is None:
         return None
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds limit")
-    payload = _read_exact(sock, length, allow_eof=False)
+    payload = _read_exact(sock, length, allow_eof=False, deadline=deadline)
     assert payload is not None
     return _decode_payload(payload), _HEADER.size + length
 
@@ -76,39 +153,87 @@ def _decode_payload(payload: bytes) -> Dict[str, Any]:
     return message
 
 
-async def aread_frame_ex(reader: Any) -> Optional[Tuple[Dict[str, Any], int]]:
+async def aread_frame_ex(
+    reader: Any,
+    idle_timeout: Optional[float] = None,
+    frame_timeout: Optional[float] = None,
+) -> Optional[Tuple[Dict[str, Any], int]]:
     """Asyncio twin of :func:`read_frame_ex` over a ``StreamReader``.
 
     Same contract: ``None`` on clean EOF before a header,
     :class:`ProtocolError` on a torn frame, an oversized length, or a
     malformed payload -- the async server must sever such connections
-    exactly where the threaded server does.
+    exactly where the threaded server does.  ``idle_timeout`` and
+    ``frame_timeout`` mirror :func:`read_frame_ex` (the timed-out read
+    is cancelled, so the connection must be severed afterwards).
     """
     import asyncio
 
+    deadline = None
+    head_wanted = _HEADER.size if frame_timeout is None else 1
     try:
-        header = await reader.readexactly(_HEADER.size)
+        if idle_timeout is None:
+            header = await reader.readexactly(head_wanted)
+        else:
+            header = await asyncio.wait_for(
+                reader.readexactly(head_wanted), timeout=idle_timeout
+            )
+    except asyncio.TimeoutError as exc:
+        raise IdleTimeoutError("connection idle past timeout") from exc
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
         raise ProtocolError("connection closed mid-frame") from exc
+    if frame_timeout is not None:
+        # Same contract as the sync twin: the frame budget starts at the
+        # first byte and covers the remaining header plus the payload.
+        deadline = time.monotonic() + frame_timeout
+        try:
+            header += await asyncio.wait_for(
+                reader.readexactly(_HEADER.size - 1), timeout=frame_timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise SlowReaderError("frame read exceeded budget") from exc
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("connection closed mid-frame") from exc
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds limit")
     try:
-        payload = await reader.readexactly(length)
+        if deadline is None:
+            payload = await reader.readexactly(length)
+        else:
+            payload = await asyncio.wait_for(
+                reader.readexactly(length),
+                timeout=max(deadline - time.monotonic(), 0.0),
+            )
+    except asyncio.TimeoutError as exc:
+        raise SlowReaderError("frame read exceeded budget") from exc
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError("connection closed mid-frame") from exc
     return _decode_payload(payload), _HEADER.size + length
 
 
 def _read_exact(
-    sock: socket.socket, n: int, allow_eof: bool
+    sock: socket.socket,
+    n: int,
+    allow_eof: bool,
+    deadline: Optional[float] = None,
 ) -> Optional[bytes]:
     chunks: List[bytes] = []
     remaining = n
     while remaining > 0:
-        chunk = sock.recv(remaining)
+        if deadline is not None:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise SlowReaderError("frame read exceeded budget")
+            sock.settimeout(budget)
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            if deadline is not None:
+                raise SlowReaderError("frame read exceeded budget") from None
+            raise
         if not chunk:
             if allow_eof and remaining == n:
                 return None
@@ -221,9 +346,46 @@ def attach_trace(message: Dict[str, Any], envelope: Dict[str, Any]) -> Dict[str,
     return message
 
 
+def attach_deadline(message: Dict[str, Any], budget: float) -> Dict[str, Any]:
+    """Attach a relative deadline budget (seconds) to a request message
+    (top-level ``deadline`` key, beside ``trace``).  The server measures
+    the budget from frame receipt and abandons work past it."""
+    message["deadline"] = float(budget)
+    return message
+
+
+def deadline_budget(message: Dict[str, Any]) -> Optional[float]:
+    """The request's deadline budget, or ``None``.
+
+    Tolerant by design (like the trace envelope): a missing, ill-typed,
+    non-finite, or non-positive budget is *ignored*, never rejected --
+    a deadline must never fail a request that would otherwise serve.
+    """
+    value = message.get("deadline")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    budget = float(value)
+    if not math.isfinite(budget) or budget <= 0:
+        return None
+    return budget
+
+
 def ok(result: Any) -> Dict[str, Any]:
     return {"result": result}
 
 
 def error(message: str) -> Dict[str, Any]:
     return {"error": message}
+
+
+def busy_error(message: str, retry_after: float) -> Dict[str, Any]:
+    """The structured overload-shed frame: an error a client can tell
+    apart from a fault (``busy: true``) with a backoff hint in seconds.
+    Old clients see an ordinary error response."""
+    return {"error": message, "busy": True, "retry_after": float(retry_after)}
+
+
+def deadline_error(message: str) -> Dict[str, Any]:
+    """The server-side deadline-drop frame: the request's budget passed
+    before dispatch, so the work was abandoned instead of computed."""
+    return {"error": message, "deadline_exceeded": True}

@@ -35,6 +35,7 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.pdistance import PDistanceMap
 from repro.portal.client import (
+    PortalBusyError,
     PortalClient,
     PortalClientError,
     PortalTransportError,
@@ -353,9 +354,12 @@ class ResilientPortalClient:
         counters: Optional[Any] = None,
         client_factory: Callable[..., PortalClient] = PortalClient,
         tracer: Optional[Any] = None,
+        deadline_budget: Optional[float] = None,
     ) -> None:
         if stale_ttl < 0:
             raise ValueError("stale_ttl must be >= 0")
+        if deadline_budget is not None and deadline_budget <= 0:
+            raise ValueError("deadline_budget must be positive when set")
         self._address = (host, port)
         self.retry = retry or RetryPolicy()
         self._clock = clock
@@ -373,6 +377,10 @@ class ResilientPortalClient:
         #: become span events on the active trace, and the underlying
         #: :class:`PortalClient` inherits it so each RPC is a child span.
         self.tracer = tracer
+        #: When set, every request frame carries this ``deadline`` budget
+        #: (seconds) so an overloaded server abandons work this client
+        #: has already given up on.
+        self.deadline_budget = deadline_budget
         self._client_factory = client_factory
         self._client: Optional[PortalClient] = None
         self._last_good: Optional[ViewSnapshot] = None
@@ -390,6 +398,8 @@ class ResilientPortalClient:
                 raise PortalTransportError(f"connect failed: {exc}") from exc
             if self.tracer is not None:
                 self._client.tracer = self.tracer
+            if self.deadline_budget is not None:
+                self._client.deadline = self.deadline_budget
         return self._client
 
     def _discard_client(self) -> None:
@@ -445,6 +455,24 @@ class ResilientPortalClient:
             attempt += 1
             try:
                 result = operation(self._ensure_client())
+            except PortalBusyError as exc:
+                # Overload shedding is the server *working as designed*,
+                # not a fault: the connection stays up, the breaker sees
+                # neither success nor failure (so shedding can never
+                # cascade into breaker-open -> stale-serve flapping), and
+                # the backoff honors the server's hint -- jittered, so a
+                # synchronized busy wave doesn't return in lock-step.
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                pause = exc.retry_after if exc.retry_after is not None else delay
+                pause *= self._rng.uniform(0.5, 1.5)
+                if deadline is not None and self._clock() + pause > deadline:
+                    raise
+                self.counters.busy_backoffs += 1
+                self._event("busy-backoff", attempt=attempt, delay=pause)
+                self._sleep(pause)
+                continue
             except PortalTransportError as exc:
                 self._discard_client()
                 self.breaker.record_failure()

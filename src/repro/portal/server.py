@@ -49,6 +49,7 @@ from repro.core.itracker import ITracker
 from repro.observability import SLO, Telemetry
 from repro.portal import protocol
 from repro.portal.dispatch import PortalDispatcher, PortalRequestError
+from repro.portal.overload import OverloadConfig
 
 __all__ = ["PortalServer", "PortalRequestError"]
 
@@ -56,11 +57,40 @@ __all__ = ["PortalServer", "PortalRequestError"]
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         server: "PortalServer" = self.server.portal  # type: ignore[attr-defined]
+        governor = server.overload
+        config = governor.config
+        if not governor.try_open_connection():
+            # Over the cap: answer with one cheap busy frame (so a
+            # well-behaved client backs off instead of reconnect-storming)
+            # and sever.
+            governor.count_connection_reject("cap")
+            try:
+                self.request.sendall(
+                    protocol.encode_frame(
+                        protocol.busy_error(
+                            "connection limit reached", config.retry_after
+                        )
+                    )
+                )
+            except OSError:
+                pass
+            return
         server._track(self.request)
+        served = 0
         try:
             while True:
                 try:
-                    framed = protocol.read_frame_ex(self.request)
+                    framed = protocol.read_frame_ex(
+                        self.request,
+                        idle_timeout=config.idle_timeout,
+                        frame_timeout=config.frame_timeout,
+                    )
+                except protocol.IdleTimeoutError:
+                    governor.count_connection_reject("idle")
+                    break
+                except protocol.SlowReaderError:
+                    governor.count_connection_reject("slow_reader")
+                    break
                 except (protocol.ProtocolError, OSError):
                     # OSError: the peer reset, or close() severed this
                     # connection while we were blocked in recv.
@@ -68,16 +98,32 @@ class _Handler(socketserver.BaseRequestHandler):
                 if framed is None:
                     break
                 message, frame_bytes = framed
+                # Frame-receipt timestamp, but only for requests that
+                # carry a deadline: legacy traffic must not pay an extra
+                # clock read (the traced scenario pins clock cadence).
+                received_at = (
+                    server.telemetry.clock() if "deadline" in message else None
+                )
                 server._bytes_in.inc(frame_bytes)
-                response = server.dispatch(message)
+                response = server._serve_message(message, received_at)
                 payload = protocol.encode_frame(response)
                 server._bytes_out.inc(len(payload))
                 try:
                     self.request.sendall(payload)
                 except OSError:
                     break
+                served += 1
+                if (
+                    config.connection_request_budget is not None
+                    and served >= config.connection_request_budget
+                ):
+                    # Recycle long-lived connections so governance changes
+                    # (caps, drain) reach clients that never disconnect.
+                    governor.count_connection_reject("request_budget")
+                    break
         finally:
             server._untrack(self.request)
+            governor.connection_closed()
 
 
 class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
@@ -99,12 +145,14 @@ class PortalServer(PortalDispatcher):
         telemetry: Optional[Telemetry] = None,
         staleness_provider: Optional[Callable[[], Optional[float]]] = None,
         slos: Optional[Sequence[SLO]] = None,
+        overload: Optional[OverloadConfig] = None,
     ):
         super().__init__(
             itracker,
             telemetry=telemetry,
             staleness_provider=staleness_provider,
             slos=slos,
+            overload=overload,
         )
         self._connections: set = set()
         self._connections_lock = threading.Lock()
@@ -126,6 +174,46 @@ class PortalServer(PortalDispatcher):
     def _untrack(self, connection) -> None:
         with self._connections_lock:
             self._connections.discard(connection)
+
+    def _serve_message(self, message, received_at: Optional[float]):
+        """Admission-gated dispatch for one frame off one connection.
+
+        Handler threads block (bounded by ``max_queue_delay``) for an
+        execution slot; a request that cannot get one inside the bound is
+        answered with a ``busy`` frame -- which is what keeps admitted
+        queueing delay bounded no matter the offered load.
+        """
+        governor = self.overload
+        if not governor.enabled and not governor.draining:
+            return self.dispatch(message, received_at=received_at)
+        outcome, _waited = governor.admit_blocking()
+        if outcome.shed:
+            return protocol.busy_error(
+                f"request shed ({outcome.value})", governor.retry_after(outcome)
+            )
+        try:
+            return self.dispatch(message, received_at=received_at)
+        finally:
+            governor.release()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown, phase one: stop accepting, bound the rest.
+
+        Closes the listener (new connects are refused by the OS), flips
+        the governor to draining (requests still arriving on established
+        connections get ``busy`` frames carrying a reconnect-later hint),
+        and waits -- bounded -- for admitted work to finish.  Returns
+        whether the backlog reached zero inside the bound; either way the
+        caller follows with :meth:`close` to sever what remains.
+        """
+        self._server.shutdown()
+        self._server.server_close()
+        self.overload.start_drain()
+        traces = self.telemetry.traces
+        span = traces.start("portal.drain")
+        drained = self.overload.wait_drained(timeout)
+        traces.finish(span.set(complete=drained))
+        return drained
 
     def close(self) -> None:
         """Stop serving and sever every established connection.

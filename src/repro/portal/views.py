@@ -154,11 +154,13 @@ class ViewPublisher:
             self._served_published = self._serves.labels(outcome="published")
             self._served_computed = self._serves.labels(outcome="computed")
             self._served_coalesced = self._serves.labels(outcome="coalesced")
+            self._served_stale = self._serves.labels(outcome="stale")
         else:
             self._publications = None
             self._served_published = None
             self._served_computed = None
             self._served_coalesced = None
+            self._served_stale = None
 
     # -- identity ----------------------------------------------------------
 
@@ -246,6 +248,36 @@ class ViewPublisher:
         """What ``itracker.get_pdistances(pids=pids)`` would return,
         served from the published snapshot."""
         snapshot = self.current()
+        return self._finish(snapshot, pids)
+
+    def has_published(self) -> bool:
+        """True once any snapshot has ever been published (the brownout
+        precondition: there must be *something* stale to serve)."""
+        with self._lock:
+            return self._current is not None
+
+    def stale_view(
+        self, pids: Optional[Sequence[str]] = None
+    ) -> Optional[PDistanceMap]:
+        """The last *published* snapshot, regardless of freshness.
+
+        The brownout read path: under sustained overload the serving
+        plane answers view reads from here without re-aggregating, so
+        guidance stays available (explicitly degraded) while the
+        aggregation cost is shed.  ``None`` before the first
+        publication -- the caller must fall back to :meth:`view`.
+        """
+        with self._lock:
+            snapshot = self._current
+        if snapshot is None:
+            return None
+        if self._served_stale is not None:
+            self._served_stale.inc()
+        return self._finish(snapshot, pids)
+
+    def _finish(
+        self, snapshot: _Snapshot, pids: Optional[Sequence[str]]
+    ) -> PDistanceMap:
         if pids is None:
             return snapshot.full
         restricted = snapshot.sharded.restricted(pids)

@@ -1,0 +1,416 @@
+"""Deterministic overload chaos scenario for the portal serving plane.
+
+A flash crowd is an *open-loop* arrival process: peers joining a swarm do
+not slow down because the portal is slow (PAPER.md Sec. 5's
+``get_pdistance``-per-join traffic), so offered load past capacity turns
+into unbounded queueing delay unless the server sheds explicitly.  This
+module replays exactly the admission/brownout/drain state machines the
+live servers mount (:mod:`repro.portal.overload` on an injected step
+clock -- the same objects, not a model of them) against a seeded Poisson
+arrival process, next to an *unprotected* twin fed the identical
+arrivals, and checks the overload invariants:
+
+* **bounded queue delay** -- no admitted request waited longer than
+  ``max_queue_delay`` for its execution slot;
+* **bounded admitted p99** -- the p99 latency of *served* requests stays
+  within the structural bound (slot wait cap + service time), while the
+  unprotected twin's p99 collapses (queue delay grows with the horizon);
+* **goodput floor** -- served throughput before the drain stays at or
+  above ``goodput_floor`` of capacity: shedding pays for itself;
+* **breaker non-flapping** -- a client classifying ``busy`` frames as
+  non-failures never trips its circuit breaker, no matter the shed rate;
+* **monotone drain** -- once :meth:`~repro.portal.overload.
+  OverloadGovernor.start_drain` fires, the backlog never grows and
+  reaches zero within ``drain_timeout``.
+
+Determinism is the point: everything runs on simulation time (the event
+heap *is* the clock), every random draw comes from one seeded RNG, and
+:func:`run_overload` hashes its canonical result document -- two runs
+with one seed must produce identical digests bit for bit (the CI smoke
+job diffs a double run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.portal.overload import (
+    AdmissionOutcome,
+    OverloadConfig,
+    OverloadGovernor,
+)
+from repro.portal.resilience import CircuitBreaker
+from repro.workloads.loadgen import percentile
+
+#: Event-kind ordering at equal timestamps: completions free slots before
+#: the drain flips state before new arrivals contend -- fixed so ties on
+#: the heap cannot reorder between runs.
+_COMPLETION, _DRAIN, _ARRIVAL = 0, 1, 2
+
+
+def default_overload_config() -> OverloadConfig:
+    """The scenario's protected-server configuration: budgets small
+    enough that 2x capacity visibly sheds within a few simulated
+    seconds, bounds tight enough that the invariants bite."""
+    return OverloadConfig(
+        enabled=True,
+        inflight_budget=4,
+        queue_budget=16,
+        max_queue_delay=0.2,
+        codel_target=0.03,
+        codel_interval=0.1,
+        retry_after=0.25,
+        brownout_enter=0.4,
+        brownout_exit=0.8,
+        drain_timeout=2.0,
+    )
+
+
+@dataclass(frozen=True)
+class OverloadScenarioSpec:
+    """One seeded overload scenario: everything the replay needs."""
+
+    seed: int = 0
+    #: The protected server's nominal capacity (requests/second): the
+    #: inflight budget divided by the deterministic per-request service
+    #: time, by construction below.
+    capacity_qps: float = 200.0
+    #: Offered load as a multiple of capacity (the 2x of the acceptance
+    #: criteria).
+    multiple: float = 2.0
+    #: Seconds of scheduled arrivals.
+    duration: float = 8.0
+    #: Per-request deadline budget carried by every arrival (None: no
+    #: deadlines): work whose slot wait already exceeds it is abandoned.
+    deadline_budget: Optional[float] = 0.15
+    #: Simulation time at which the graceful drain starts (None: never).
+    drain_at: Optional[float] = 6.0
+    #: Served-throughput floor, as a fraction of capacity.
+    goodput_floor: float = 0.7
+    config: OverloadConfig = field(default_factory=default_overload_config)
+
+    def __post_init__(self) -> None:
+        if self.capacity_qps <= 0:
+            raise ValueError("capacity_qps must be positive")
+        if self.multiple <= 0:
+            raise ValueError("multiple must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 < self.goodput_floor <= 1:
+            raise ValueError("goodput_floor must be in (0, 1]")
+        if self.deadline_budget is not None and self.deadline_budget <= 0:
+            raise ValueError("deadline_budget must be positive when set")
+        if self.drain_at is not None and not 0 < self.drain_at < self.duration:
+            raise ValueError("drain_at must fall inside the duration")
+
+    @property
+    def service_time(self) -> float:
+        """Deterministic per-request service time: ``inflight_budget``
+        concurrent slots at this service time give ``capacity_qps``."""
+        return self.config.inflight_budget / self.capacity_qps
+
+
+@dataclass(frozen=True)
+class Violation:
+    invariant: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class OverloadReport:
+    """What one scenario replay measured, plus its invariant verdicts."""
+
+    document: Dict[str, Any]
+    violations: Tuple[Violation, ...]
+    digest: str
+
+
+def _poisson_arrivals(rng: random.Random, rate: float, horizon: float) -> List[float]:
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= horizon:
+            return arrivals
+        arrivals.append(t)
+
+
+def _unprotected_latencies(
+    arrivals: List[float], servers: int, service_time: float
+) -> List[float]:
+    """FIFO M/D/c with an unbounded queue: what the same arrival process
+    does to a server with no admission control (every request eventually
+    served, queueing delay growing with the horizon)."""
+    free = [0.0] * servers
+    heapq.heapify(free)
+    latencies: List[float] = []
+    for at in arrivals:
+        start = max(at, heapq.heappop(free))
+        done = start + service_time
+        heapq.heappush(free, done)
+        latencies.append(done - at)
+    return latencies
+
+
+def run_overload(spec: OverloadScenarioSpec) -> OverloadReport:
+    """Replay one seeded overload scenario; see the module docstring."""
+    rng = random.Random(spec.seed)
+    arrivals = _poisson_arrivals(
+        rng, spec.capacity_qps * spec.multiple, spec.duration
+    )
+    service = spec.service_time
+    config = spec.config
+
+    now = [0.0]
+    governor = OverloadGovernor(config, telemetry=None, clock=lambda: now[0])
+    # The client's view of the shed storm: busy frames feed the breaker
+    # *neither* success nor failure (the resilience-layer contract), so
+    # trip_count staying zero is the non-flapping invariant.
+    breaker = CircuitBreaker(failure_threshold=5, clock=lambda: now[0])
+
+    events: List[Tuple[float, int, int, float]] = []
+    seq = 0
+    for at in arrivals:
+        events.append((at, _ARRIVAL, seq, at))
+        seq += 1
+    if spec.drain_at is not None:
+        events.append((spec.drain_at, _DRAIN, seq, spec.drain_at))
+        seq += 1
+    heapq.heapify(events)
+
+    waiters: Deque[float] = deque()
+    outcome_counts: Dict[str, int] = {}
+    served_latencies: List[float] = []
+    served_completions: List[float] = []
+    admitted_waits: List[float] = []
+    deadline_drops = 0
+    state_peaks = {governor.state()}
+    drain_started: Optional[float] = None
+    drain_completed: Optional[float] = None
+    drain_backlog_grew = False
+    backlog_at_drain = 0
+
+    def count(outcome: AdmissionOutcome) -> None:
+        outcome_counts[outcome.value] = outcome_counts.get(outcome.value, 0) + 1
+
+    def promote() -> None:
+        """Hand freed slots to FIFO waiters (shedding stale/drained ones)."""
+        nonlocal deadline_drops, seq
+        while waiters and (
+            governor.draining
+            or governor.admission.inflight < config.inflight_budget
+        ):
+            arrival = waiters.popleft()
+            waited = now[0] - arrival
+            outcome = governor.admit_after_wait(now[0], waited)
+            count(outcome)
+            if outcome is not AdmissionOutcome.ADMITTED:
+                continue
+            if spec.deadline_budget is not None and waited >= spec.deadline_budget:
+                # Admitted, but the caller already gave up: the server
+                # abandons the work instead of computing-then-discarding.
+                governor.release()
+                deadline_drops += 1
+                continue
+            admitted_waits.append(waited)
+            heapq.heappush(
+                events, (now[0] + service, _COMPLETION, seq, arrival)
+            )
+            seq += 1
+
+    while events:
+        at, kind, _, payload = heapq.heappop(events)
+        now[0] = at
+        if kind == _ARRIVAL:
+            outcome = governor.admit(at, may_queue=True)
+            if outcome is AdmissionOutcome.ADMITTED:
+                count(outcome)
+                admitted_waits.append(0.0)
+                heapq.heappush(events, (at + service, _COMPLETION, seq, payload))
+                seq += 1
+            elif outcome is AdmissionOutcome.QUEUED:
+                waiters.append(payload)
+            else:
+                count(outcome)
+                # A busy frame: the well-behaved client backs off without
+                # recording a breaker failure.
+        elif kind == _COMPLETION:
+            governor.release()
+            served_latencies.append(at - payload)
+            served_completions.append(at)
+            breaker.record_success()
+            promote()
+        else:  # _DRAIN
+            governor.start_drain()
+            drain_started = at
+            backlog_at_drain = governor.admission.backlog
+            promote()
+        state_peaks.add(governor.state())
+        if drain_started is not None:
+            backlog = governor.admission.backlog
+            if backlog > backlog_at_drain:
+                drain_backlog_grew = True
+            backlog_at_drain = min(backlog_at_drain, backlog)
+            if backlog == 0 and drain_completed is None:
+                drain_completed = at
+
+    unprotected = _unprotected_latencies(
+        arrivals, config.inflight_budget, service
+    )
+    goodput_window = drain_started if drain_started is not None else spec.duration
+    served_in_window = sum(1 for done in served_completions if done <= goodput_window)
+    goodput = served_in_window / goodput_window
+    admitted_p99 = percentile(sorted(served_latencies), 0.99)
+    unprotected_p99 = percentile(sorted(unprotected), 0.99)
+    max_wait = max(admitted_waits) if admitted_waits else 0.0
+    latency_bound = config.max_queue_delay + service + 1e-9
+
+    violations: List[Violation] = []
+
+    def check(invariant: str, ok: bool, detail: str) -> None:
+        if not ok:
+            violations.append(Violation(invariant=invariant, detail=detail))
+
+    check(
+        "bounded-queue-delay",
+        max_wait <= config.max_queue_delay + 1e-9,
+        f"admitted slot wait {max_wait:.6f}s exceeds "
+        f"max_queue_delay {config.max_queue_delay}s",
+    )
+    check(
+        "bounded-admitted-p99",
+        admitted_p99 <= latency_bound,
+        f"admitted p99 {admitted_p99:.6f}s exceeds bound {latency_bound:.6f}s",
+    )
+    check(
+        "goodput-floor",
+        goodput >= spec.goodput_floor * spec.capacity_qps,
+        f"goodput {goodput:.1f} qps below "
+        f"{spec.goodput_floor:.0%} of capacity {spec.capacity_qps} qps",
+    )
+    check(
+        "breaker-non-flapping",
+        breaker.trip_count == 0,
+        f"busy storm tripped the breaker {breaker.trip_count} time(s)",
+    )
+    check(
+        "unprotected-collapse",
+        unprotected_p99 > 2.0 * max(admitted_p99, service),
+        f"unprotected p99 {unprotected_p99:.6f}s did not collapse vs "
+        f"protected {admitted_p99:.6f}s -- the load is not past capacity",
+    )
+    if drain_started is not None:
+        check(
+            "monotone-drain",
+            not drain_backlog_grew,
+            "backlog grew after drain started",
+        )
+        check(
+            "drain-completes",
+            drain_completed is not None
+            and drain_completed - drain_started <= config.drain_timeout + 1e-9,
+            f"drain started at {drain_started:.3f}s did not empty the "
+            f"backlog within {config.drain_timeout}s "
+            f"(completed: {drain_completed})",
+        )
+
+    document: Dict[str, Any] = {
+        "spec": {
+            "seed": spec.seed,
+            "capacity_qps": spec.capacity_qps,
+            "multiple": spec.multiple,
+            "duration": spec.duration,
+            "deadline_budget": spec.deadline_budget,
+            "drain_at": spec.drain_at,
+            "goodput_floor": spec.goodput_floor,
+            "inflight_budget": config.inflight_budget,
+            "queue_budget": config.queue_budget,
+            "max_queue_delay": config.max_queue_delay,
+            "service_time": round(service, 9),
+        },
+        "arrivals": len(arrivals),
+        "protected": {
+            "outcomes": dict(sorted(outcome_counts.items())),
+            "served": len(served_latencies),
+            "deadline_drops": deadline_drops,
+            "goodput_qps": round(goodput, 6),
+            "admitted_wait_max": round(max_wait, 9),
+            "latency_p50": round(
+                percentile(sorted(served_latencies), 0.50), 9
+            ),
+            "latency_p99": round(admitted_p99, 9),
+            "breaker_trips": breaker.trip_count,
+            "states_seen": sorted(state_peaks),
+            "drain": (
+                None
+                if drain_started is None
+                else {
+                    "started": round(drain_started, 9),
+                    "completed": (
+                        None
+                        if drain_completed is None
+                        else round(drain_completed, 9)
+                    ),
+                }
+            ),
+        },
+        "unprotected": {
+            "served": len(unprotected),
+            "latency_p50": round(percentile(sorted(unprotected), 0.50), 9),
+            "latency_p99": round(unprotected_p99, 9),
+        },
+        "violations": [
+            {"invariant": v.invariant, "detail": v.detail} for v in violations
+        ],
+    }
+    digest = hashlib.sha256(
+        json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+    document["digest"] = digest
+    return OverloadReport(
+        document=document, violations=tuple(violations), digest=digest
+    )
+
+
+def format_overload(report: OverloadReport) -> str:
+    """Human-readable render of one :class:`OverloadReport`."""
+    doc = report.document
+    protected = doc["protected"]
+    unprotected = doc["unprotected"]
+    lines = [
+        f"overload scenario seed={doc['spec']['seed']} "
+        f"({doc['spec']['multiple']:g}x capacity, {doc['arrivals']} arrivals)",
+        f"  protected:   served {protected['served']:>6}  "
+        f"goodput {protected['goodput_qps']:8.1f} qps  "
+        f"p99 {protected['latency_p99'] * 1000.0:8.3f}ms  "
+        f"breaker trips {protected['breaker_trips']}",
+        f"  unprotected: served {unprotected['served']:>6}  "
+        f"p99 {unprotected['latency_p99'] * 1000.0:8.3f}ms",
+        f"  outcomes: {protected['outcomes']}",
+    ]
+    if protected["drain"] is not None:
+        drain = protected["drain"]
+        completed = drain["completed"]
+        lines.append(
+            f"  drain: started {drain['started']:.3f}s, "
+            + (
+                "never completed"
+                if completed is None
+                else f"completed {completed:.3f}s"
+            )
+        )
+    if report.violations:
+        lines.append("  VIOLATIONS:")
+        lines.extend(
+            f"    {v.invariant}: {v.detail}" for v in report.violations
+        )
+    else:
+        lines.append("  all overload invariants hold")
+    lines.append(f"  digest {report.digest}")
+    return "\n".join(lines)

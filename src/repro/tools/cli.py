@@ -215,6 +215,29 @@ def _run_chaos(args: argparse.Namespace, out) -> int:
     return 1 if result.violations else 0
 
 
+def _run_overload(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.simulator.overload import (
+        OverloadScenarioSpec,
+        format_overload,
+        run_overload,
+    )
+
+    spec = OverloadScenarioSpec(
+        seed=args.seed,
+        multiple=args.multiple,
+        duration=args.duration,
+        drain_at=None if args.no_drain else args.drain_at,
+    )
+    report = run_overload(spec)
+    if args.format == "json":
+        print(json.dumps(report.document, sort_keys=True, indent=2), file=out)
+    else:
+        print(format_overload(report), file=out)
+    return 1 if report.violations else 0
+
+
 def _run_trace(args: argparse.Namespace, out) -> int:
     import json
 
@@ -333,6 +356,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "telemetry": _run_telemetry,
     "lint": _run_lint,
     "chaos": _run_chaos,
+    "overload": _run_overload,
     "fuzz": _run_fuzz,
     "trace": _run_trace,
     "loadtest": _run_loadtest,
@@ -401,6 +425,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="restart the crashed portal without its state store "
         "(demonstrates the amnesiac-restart violations the store prevents)",
     )
+    overload = sub.add_parser(
+        "overload",
+        help="seeded flash-crowd scenario replaying the real admission/"
+        "brownout/drain state machines against an unprotected twin; "
+        "exits non-zero on any overload-invariant violation",
+    )
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument(
+        "--multiple", type=float, default=2.0,
+        help="offered load as a multiple of server capacity",
+    )
+    overload.add_argument("--duration", type=float, default=8.0)
+    overload.add_argument(
+        "--drain-at", type=float, default=6.0,
+        help="simulation time at which the graceful drain starts",
+    )
+    overload.add_argument(
+        "--no-drain", action="store_true",
+        help="run the whole scenario without draining",
+    )
+    overload.add_argument("--format", choices=("text", "json"), default="text")
     fuzz = sub.add_parser(
         "fuzz",
         help="coverage-guided scenario fuzzer over the chaos, differential, "

@@ -48,6 +48,30 @@ DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
     ("get_alto_costmap", 0.05),
 )
 
+#: Request outcome classes (what the overload benchmark aggregates by).
+OUTCOME_SERVED = "served"
+OUTCOME_SHED = "shed"  #: busy frame: admission/brownout shedding
+OUTCOME_DEADLINE = "deadline_exceeded"
+OUTCOME_ERROR = "error"  #: any other error response
+OUTCOME_CONNECT_REFUSED = "connect_refused"
+OUTCOME_SEVERED = "severed"  #: connection died before the response
+
+
+def classify_response(response: Dict[str, Any]) -> str:
+    """Which outcome class one response frame belongs to.
+
+    Shed (``busy``) and deadline frames are *not* generic errors: under
+    overload they are the server working as designed, and conflating
+    them with faults is exactly what hides a collapse (or fakes one).
+    """
+    if "error" not in response:
+        return OUTCOME_SERVED
+    if response.get("busy"):
+        return OUTCOME_SHED
+    if response.get("deadline_exceeded"):
+        return OUTCOME_DEADLINE
+    return OUTCOME_ERROR
+
 
 @dataclass(frozen=True)
 class LoadSpec:
@@ -148,6 +172,12 @@ class LoadSummary:
     p99: float
     reconnects: int = 0
     by_method: Dict[str, int] = field(default_factory=dict)
+    #: Per-outcome breakdown: ``{outcome: {count, [p50, p90, p99]}}``
+    #: (percentiles only for outcomes that have completions).
+    outcomes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Served (non-error, non-shed) completions per second -- the number
+    #: an overloaded server is judged by.
+    goodput: float = 0.0
 
     def to_document(self) -> Dict[str, Any]:
         return {
@@ -155,6 +185,7 @@ class LoadSummary:
             "errors": self.errors,
             "elapsed_seconds": round(self.elapsed, 6),
             "qps": round(self.qps, 3),
+            "goodput_qps": round(self.goodput, 3),
             "latency_seconds": {
                 "p50": round(self.p50, 6),
                 "p90": round(self.p90, 6),
@@ -162,6 +193,10 @@ class LoadSummary:
             },
             "reconnects": self.reconnects,
             "by_method": dict(sorted(self.by_method.items())),
+            "outcomes": {
+                outcome: dict(stats)
+                for outcome, stats in sorted(self.outcomes.items())
+            },
         }
 
 
@@ -171,9 +206,31 @@ def summarize(
     errors: int = 0,
     reconnects: int = 0,
     by_method: Optional[Dict[str, int]] = None,
+    outcome_counts: Optional[Dict[str, int]] = None,
+    outcome_latencies: Optional[Dict[str, Sequence[float]]] = None,
 ) -> LoadSummary:
     ordered = sorted(latencies)
     elapsed = max(elapsed, 1e-9)
+    counts = dict(outcome_counts or {})
+    per_outcome = {
+        outcome: sorted(values)
+        for outcome, values in (outcome_latencies or {}).items()
+    }
+    if not counts and not per_outcome and ordered:
+        # Callers predating outcome classification (and the idealized
+        # simulator, which never sheds): every completion served.
+        counts = {OUTCOME_SERVED: len(ordered)}
+        per_outcome = {OUTCOME_SERVED: ordered}
+    outcomes: Dict[str, Dict[str, Any]] = {}
+    for outcome in sorted(set(counts) | set(per_outcome)):
+        values = per_outcome.get(outcome, [])
+        stats: Dict[str, Any] = {"count": counts.get(outcome, len(values))}
+        if values:
+            stats["p50"] = round(percentile(values, 0.50), 6)
+            stats["p90"] = round(percentile(values, 0.90), 6)
+            stats["p99"] = round(percentile(values, 0.99), 6)
+        outcomes[outcome] = stats
+    served = outcomes.get(OUTCOME_SERVED, {}).get("count", 0)
     return LoadSummary(
         requests=len(ordered),
         errors=errors,
@@ -184,6 +241,8 @@ def summarize(
         p99=percentile(ordered, 0.99),
         reconnects=reconnects,
         by_method=dict(by_method or {}),
+        outcomes=outcomes,
+        goodput=served / elapsed,
     )
 
 
@@ -244,13 +303,23 @@ class _ConnState:
         self.errors = 0
         self.reconnects = 0
         self.by_method: Dict[str, int] = {}
+        self.outcome_counts: Dict[str, int] = {}
+        self.outcome_latencies: Dict[str, List[float]] = {}
         self.last_completion = 0.0
 
-    def record(self, method: str, latency: float, is_error: bool, done: float) -> None:
+    def record(self, method: str, latency: float, outcome: str, done: float) -> None:
         self.latencies.append(latency)
         self.by_method[method] = self.by_method.get(method, 0) + 1
-        self.errors += is_error
+        self.errors += outcome == OUTCOME_ERROR
+        self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + 1
+        self.outcome_latencies.setdefault(outcome, []).append(latency)
         self.last_completion = max(self.last_completion, done)
+
+    def count_failures(self, outcome: str, n: int) -> None:
+        """Requests that never completed (refused connect, severed mid-run):
+        counted by outcome, no latency sample to record."""
+        if n > 0:
+            self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + n
 
 
 #: Connect retries per socket: a server mid-churn (or a full accept
@@ -277,10 +346,18 @@ async def _run_segment(
     state: _ConnState,
     clock,
 ) -> None:
-    reader, writer = await _connect(address)
+    try:
+        reader, writer = await _connect(address)
+    except (ConnectionError, OSError):
+        # A capped/draining/closed server refuses the connect even after
+        # the retries: the whole segment's requests never happened.
+        state.count_failures(OUTCOME_CONNECT_REFUSED, len(segment))
+        return
     inflight: Deque[ScheduledRequest] = deque()
+    completed = 0
 
     async def read_loop() -> None:
+        nonlocal completed
         for _ in range(len(segment)):
             framed = await protocol.aread_frame_ex(reader)
             if framed is None:
@@ -289,8 +366,9 @@ async def _run_segment(
             request = inflight.popleft()
             done = clock() - t0
             state.record(
-                request.method, done - request.at, "error" in response, done
+                request.method, done - request.at, classify_response(response), done
             )
+            completed += 1
 
     async def write_loop() -> None:
         for request in segment:
@@ -305,8 +383,17 @@ async def _run_segment(
             )
             await writer.drain()
 
+    writes = asyncio.ensure_future(write_loop())
+    reads = asyncio.ensure_future(read_loop())
     try:
-        await asyncio.gather(write_loop(), read_loop())
+        await asyncio.gather(writes, reads)
+    except (ConnectionError, OSError):
+        # Severed mid-run (request-budget recycle, timeout governance, a
+        # drain/close): everything unanswered on this socket is severed.
+        for task in (writes, reads):
+            task.cancel()
+        await asyncio.gather(writes, reads, return_exceptions=True)
+        state.count_failures(OUTCOME_SEVERED, len(segment) - completed)
     finally:
         writer.close()
         try:
@@ -355,6 +442,8 @@ async def drive(
         errors=state.errors + failures,
         reconnects=state.reconnects,
         by_method=state.by_method,
+        outcome_counts=state.outcome_counts,
+        outcome_latencies=state.outcome_latencies,
     )
 
 
@@ -370,12 +459,14 @@ def run(
 def format_summary(name: str, summary: LoadSummary) -> str:
     doc = summary.to_document()
     latency = doc["latency_seconds"]
+    shed = doc["outcomes"].get(OUTCOME_SHED, {}).get("count", 0)
     return (
         f"{name:<10} {doc['qps']:10.1f} qps  "
+        f"goodput {doc['goodput_qps']:10.1f}  "
         f"p50 {latency['p50'] * 1000.0:8.3f}ms  "
         f"p99 {latency['p99'] * 1000.0:8.3f}ms  "
         f"{doc['requests']} reqs  {doc['errors']} errors  "
-        f"{doc['reconnects']} reconnects"
+        f"{shed} shed  {doc['reconnects']} reconnects"
     )
 
 

@@ -15,9 +15,15 @@ from repro.network.library import abilene
 from repro.observability import NULL_TELEMETRY
 from repro.workloads.loadgen import (
     DEFAULT_MIX,
+    OUTCOME_CONNECT_REFUSED,
+    OUTCOME_DEADLINE,
+    OUTCOME_ERROR,
+    OUTCOME_SERVED,
+    OUTCOME_SHED,
     LoadSpec,
     _segments,
     build_schedule,
+    classify_response,
     percentile,
     run,
     simulate,
@@ -102,6 +108,74 @@ class TestScheduleDeterminism:
             LoadSpec(rate=0.0)
         with pytest.raises(ValueError):
             LoadSpec(method_mix=())
+
+
+class TestOutcomeClassification:
+    def test_response_frames_map_to_their_outcome_class(self):
+        assert classify_response({"result": {"version": 3}}) == OUTCOME_SERVED
+        assert (
+            classify_response({"error": "shed", "busy": True, "retry_after": 0.5})
+            == OUTCOME_SHED
+        )
+        assert (
+            classify_response({"error": "late", "deadline_exceeded": True})
+            == OUTCOME_DEADLINE
+        )
+        assert classify_response({"error": "unknown method"}) == OUTCOME_ERROR
+
+    def test_shed_and_deadline_are_not_errors(self):
+        """The overload benchmark's headline numbers depend on this
+        separation: a shed is the server protecting itself, not a fault."""
+        for frame in (
+            {"error": "shed", "busy": True},
+            {"error": "late", "deadline_exceeded": True},
+        ):
+            assert classify_response(frame) != OUTCOME_ERROR
+
+    def test_summarize_reports_per_outcome_percentiles(self):
+        summary = summarize(
+            [0.010, 0.020, 0.030],
+            elapsed=2.0,
+            errors=1,
+            outcome_counts={
+                OUTCOME_SERVED: 3,
+                OUTCOME_SHED: 5,
+                OUTCOME_ERROR: 1,
+                OUTCOME_CONNECT_REFUSED: 2,
+            },
+            outcome_latencies={
+                OUTCOME_SERVED: [0.010, 0.020, 0.030],
+                OUTCOME_SHED: [0.001, 0.002, 0.001, 0.002, 0.001],
+            },
+        )
+        served = summary.outcomes[OUTCOME_SERVED]
+        assert served["count"] == 3
+        assert served["p50"] == 0.02
+        assert served["p99"] == 0.03
+        shed = summary.outcomes[OUTCOME_SHED]
+        assert shed["count"] == 5
+        assert shed["p99"] == 0.002
+        # Failures that never completed carry counts but no percentiles.
+        refused = summary.outcomes[OUTCOME_CONNECT_REFUSED]
+        assert refused == {"count": 2}
+        # Goodput counts only served completions.
+        assert summary.goodput == pytest.approx(1.5)
+        assert summary.qps == pytest.approx(1.5)
+        document = summary.to_document()
+        assert document["goodput_qps"] == pytest.approx(1.5)
+        assert set(document["outcomes"]) == {
+            OUTCOME_SERVED,
+            OUTCOME_SHED,
+            OUTCOME_ERROR,
+            OUTCOME_CONNECT_REFUSED,
+        }
+
+    def test_summarize_without_outcome_data_backfills_served(self):
+        """Legacy callers (no outcome accounting) still get a coherent
+        document: every completion is assumed served."""
+        summary = summarize([0.1, 0.2], elapsed=1.0)
+        assert summary.outcomes[OUTCOME_SERVED]["count"] == 2
+        assert summary.goodput == pytest.approx(2.0)
 
 
 class TestSummaryArithmetic:

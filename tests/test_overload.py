@@ -1,0 +1,401 @@
+"""Tests for the overload-control layer (no sockets, no wall clock).
+
+Admission, CoDel shedding, brownout transitions, drain, the governor
+facade, and the deterministic overload chaos scenario all run on injected
+step clocks -- every behaviour here must be exactly reproducible.  The
+socket-level integration of the same machinery lives in
+``tests/test_portal_overload.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.management.monitors import ResilienceCounters
+from repro.portal.client import PortalBusyError
+from repro.portal.overload import (
+    STATE_BROWNOUT,
+    STATE_DRAINING,
+    STATE_NORMAL,
+    STATE_SHEDDING,
+    AdmissionController,
+    AdmissionOutcome,
+    BrownoutController,
+    OverloadConfig,
+    OverloadGovernor,
+)
+from repro.portal.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    ResilientPortalClient,
+    RetryPolicy,
+)
+from repro.simulator.overload import (
+    OverloadScenarioSpec,
+    format_overload,
+    run_overload,
+)
+
+
+class StepClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def config(**overrides):
+    defaults = dict(
+        enabled=True,
+        inflight_budget=2,
+        queue_budget=2,
+        max_queue_delay=0.5,
+        codel_target=0.05,
+        codel_interval=0.1,
+        retry_after=0.25,
+        brownout_enter=0.5,
+        brownout_exit=1.0,
+        drain_timeout=1.0,
+    )
+    defaults.update(overrides)
+    return OverloadConfig(**defaults)
+
+
+class TestOverloadConfig:
+    def test_validation_rejects_nonsense(self):
+        for bad in (
+            dict(inflight_budget=0),
+            dict(queue_budget=-1),
+            dict(max_queue_delay=0.0),
+            dict(codel_target=-1.0),
+            dict(max_shed_level=0),
+            dict(retry_after=0.0),
+            dict(probe_interval=0.0),
+            dict(max_connections=0),
+            dict(idle_timeout=0.0),
+            dict(frame_timeout=-1.0),
+            dict(connection_request_budget=0),
+            dict(brownout_enter=0.0),
+            dict(drain_timeout=0.0),
+        ):
+            with pytest.raises(ValueError):
+                config(**bad)
+
+    def test_disabled_config_is_constructible_with_defaults(self):
+        assert OverloadConfig(enabled=False).enabled is False
+
+
+class TestAdmissionController:
+    def test_admits_within_budget_then_queues_then_sheds(self):
+        clock = StepClock()
+        ctl = AdmissionController(config(), clock=clock)
+        assert ctl.try_admit(0.0) is AdmissionOutcome.ADMITTED
+        assert ctl.try_admit(0.0) is AdmissionOutcome.ADMITTED
+        # Budget full: non-queueing callers are shed outright ...
+        assert ctl.try_admit(0.0) is AdmissionOutcome.SHED_QUEUE
+        # ... queueing callers park, up to the queue budget.
+        assert ctl.try_admit(0.0, may_queue=True) is AdmissionOutcome.QUEUED
+        assert ctl.try_admit(0.0, may_queue=True) is AdmissionOutcome.QUEUED
+        assert ctl.try_admit(0.0, may_queue=True) is AdmissionOutcome.SHED_QUEUE
+        assert ctl.inflight == 2 and ctl.queued == 2 and ctl.backlog == 4
+
+    def test_admit_after_wait_enforces_the_delay_bound(self):
+        clock = StepClock()
+        ctl = AdmissionController(config(), clock=clock)
+        ctl.try_admit(0.0)
+        ctl.try_admit(0.0)
+        assert ctl.try_admit(0.0, may_queue=True) is AdmissionOutcome.QUEUED
+        ctl.release()
+        # Within the bound: the waiter gets the slot.
+        assert ctl.admit_after_wait(0.1, waited=0.1) is AdmissionOutcome.ADMITTED
+        assert ctl.try_admit(0.2, may_queue=True) is AdmissionOutcome.QUEUED
+        ctl.release()
+        # Past the bound: shed even though a slot is free.
+        assert ctl.admit_after_wait(0.9, waited=0.9) is AdmissionOutcome.SHED_QUEUE
+        assert ctl.inflight == 1 and ctl.queued == 0
+
+    def test_codel_shedding_enters_after_sustained_delay(self):
+        clock = StepClock()
+        ctl = AdmissionController(config(), clock=clock)
+        assert not ctl.shedding()
+        # One spike is not sustained delay.
+        ctl.observe_delay(0.0, 0.2)
+        assert not ctl.shedding()
+        # Above target for a full interval: shedding engages.
+        ctl.observe_delay(0.15, 0.2)
+        assert ctl.shedding()
+        # Progressive escalation: level grows with time spent shedding.
+        assert ctl.shed_level(0.15) == 1
+        assert ctl.shed_level(0.46) == 4
+        assert ctl.shed_level(99.0) == config().max_shed_level
+        # A below-target observation clears the state entirely.
+        ctl.observe_delay(0.4, 0.01)
+        assert not ctl.shedding()
+
+    def test_shedding_admits_every_period_th_arrival(self):
+        clock = StepClock()
+        ctl = AdmissionController(config(inflight_budget=64), clock=clock)
+        ctl.observe_delay(0.0, 0.2)
+        ctl.observe_delay(0.15, 0.2)
+        assert ctl.shedding()
+        # Level 1 sheds every arrival whose counter is not a multiple of
+        # 2: deterministic, so exactly half of a burst is admitted.
+        outcomes = [ctl.try_admit(0.16) for _ in range(8)]
+        admitted = [o for o in outcomes if o is AdmissionOutcome.ADMITTED]
+        shed = [o for o in outcomes if o is AdmissionOutcome.SHED_CODEL]
+        assert len(admitted) == 4 and len(shed) == 4
+        # Direct admits do not clear the shedding state (only a real
+        # below-target delay observation may -- the async lag probe).
+        assert ctl.shedding()
+
+    def test_drain_sheds_arrivals_and_empties_backlog(self):
+        clock = StepClock()
+        ctl = AdmissionController(config(), clock=clock)
+        ctl.try_admit(0.0)
+        ctl.start_drain(0.0)
+        assert ctl.draining
+        assert ctl.try_admit(0.1) is AdmissionOutcome.SHED_DRAIN
+        assert ctl.try_admit(0.1, may_queue=True) is AdmissionOutcome.SHED_DRAIN
+        assert ctl.backlog == 1
+        ctl.release()
+        assert ctl.backlog == 0
+        assert ctl.wait_drained(timeout=0.1) is True
+
+    def test_blocking_admission_bounds_the_wait(self):
+        clock = StepClock()
+        ctl = AdmissionController(config(inflight_budget=1), clock=clock)
+        assert ctl.admit_blocking() == (AdmissionOutcome.ADMITTED, 0.0)
+        # Slot occupied and nobody will release it: the bounded wait
+        # expires (the step clock never advances inside cv.wait, so use a
+        # tiny real bound via max_queue_delay on a real clock instead).
+        real = AdmissionController(
+            config(inflight_budget=1, max_queue_delay=0.05)
+        )
+        assert real.admit_blocking()[0] is AdmissionOutcome.ADMITTED
+        outcome, waited = real.admit_blocking()
+        assert outcome is AdmissionOutcome.SHED_QUEUE
+        assert waited >= 0.05
+        assert real.queued == 0
+
+
+class TestBrownoutController:
+    def test_enters_after_sustained_shedding_and_exits_after_clean(self):
+        ctl = BrownoutController(config())
+        assert ctl.update(0.0, shedding=True) is False
+        assert ctl.update(0.4, shedding=True) is False
+        assert ctl.update(0.5, shedding=True) is True  # sustained >= enter
+        # Still active through a clean stretch shorter than the exit bar.
+        assert ctl.update(0.6, shedding=False) is True
+        assert ctl.update(1.5, shedding=False) is True
+        assert ctl.update(1.6, shedding=False) is False  # sustained clean
+        assert ctl.transitions == 2
+
+    def test_shedding_resets_the_clean_timer(self):
+        ctl = BrownoutController(config())
+        ctl.update(0.0, shedding=True)
+        ctl.update(0.5, shedding=True)
+        assert ctl.active
+        ctl.update(0.6, shedding=False)
+        ctl.update(1.5, shedding=True)  # relapse: clean timer restarts
+        ctl.update(1.6, shedding=False)
+        assert ctl.update(2.5, shedding=False) is True
+        assert ctl.update(2.7, shedding=False) is False
+
+    def test_force_pins_the_state(self):
+        ctl = BrownoutController(config())
+        ctl.force(True)
+        assert ctl.update(0.0, shedding=False) is True
+        ctl.force(None)
+        assert ctl.update(10.0, shedding=False) is True  # machine resumes
+        assert ctl.update(11.1, shedding=False) is False
+
+
+class TestOverloadGovernor:
+    def test_state_machine_precedence(self):
+        clock = StepClock()
+        governor = OverloadGovernor(config(), clock=clock)
+        assert governor.state() == STATE_NORMAL
+        governor.observe_delay(0.2, now=0.0)
+        governor.observe_delay(0.2, now=0.15)
+        assert governor.state() == STATE_SHEDDING
+        governor.force_brownout(True)
+        assert governor.state() == STATE_BROWNOUT
+        governor.start_drain()
+        assert governor.state() == STATE_DRAINING
+
+    def test_retry_after_hints_by_outcome(self):
+        governor = OverloadGovernor(config(), clock=StepClock())
+        base = config().retry_after
+        assert governor.retry_after(AdmissionOutcome.SHED_CODEL) == base
+        assert governor.retry_after(AdmissionOutcome.SHED_QUEUE) == 2 * base
+        assert governor.retry_after(AdmissionOutcome.SHED_DRAIN) == max(
+            base, config().drain_timeout
+        )
+
+    def test_connection_cap_accounting(self):
+        governor = OverloadGovernor(
+            config(max_connections=2), clock=StepClock()
+        )
+        assert governor.try_open_connection()
+        assert governor.try_open_connection()
+        assert not governor.try_open_connection()
+        governor.connection_closed()
+        assert governor.try_open_connection()
+        assert governor.open_connections == 2
+
+    def test_disabled_governor_admits_everything(self):
+        governor = OverloadGovernor(
+            OverloadConfig(enabled=False), clock=StepClock()
+        )
+        for _ in range(500):
+            assert governor.admit() is AdmissionOutcome.ADMITTED
+        governor.observe_delay(10.0, now=0.0)
+        governor.observe_delay(10.0, now=1.0)
+        assert governor.state() == STATE_NORMAL
+        # ... except during drain, which sheds even when disabled.
+        governor.start_drain()
+        assert governor.admit() is AdmissionOutcome.SHED_DRAIN
+
+
+class TestOverloadScenario:
+    def test_invariants_hold_and_runs_are_bit_deterministic(self):
+        spec = OverloadScenarioSpec()
+        first = run_overload(spec)
+        second = run_overload(spec)
+        assert first.violations == ()
+        assert first.digest == second.digest
+        assert first.document == second.document
+
+    def test_protected_sheds_while_unprotected_collapses(self):
+        report = run_overload(OverloadScenarioSpec(seed=3))
+        doc = report.document
+        outcomes = doc["protected"]["outcomes"]
+        assert outcomes.get("shed_codel", 0) + outcomes.get("shed_queue", 0) > 0
+        assert doc["protected"]["breaker_trips"] == 0
+        assert (
+            doc["unprotected"]["latency_p99"]
+            > 2 * doc["protected"]["latency_p99"]
+        )
+        goodput = doc["protected"]["goodput_qps"]
+        assert goodput >= 0.7 * doc["spec"]["capacity_qps"]
+
+    def test_drain_completes_within_bound(self):
+        report = run_overload(OverloadScenarioSpec(seed=1))
+        drain = report.document["protected"]["drain"]
+        assert drain is not None and drain["completed"] is not None
+        spec = OverloadScenarioSpec(seed=1)
+        assert (
+            drain["completed"] - drain["started"]
+            <= spec.config.drain_timeout
+        )
+
+    def test_different_seeds_differ_and_no_drain_mode_works(self):
+        with_drain = run_overload(OverloadScenarioSpec(seed=2))
+        no_drain = run_overload(OverloadScenarioSpec(seed=2, drain_at=None))
+        assert with_drain.digest != no_drain.digest
+        assert no_drain.document["protected"]["drain"] is None
+        assert no_drain.violations == ()
+
+    def test_format_renders_verdict_and_digest(self):
+        report = run_overload(OverloadScenarioSpec())
+        text = format_overload(report)
+        assert "all overload invariants hold" in text
+        assert report.digest in text
+
+    def test_spec_validation(self):
+        for bad in (
+            dict(capacity_qps=0.0),
+            dict(multiple=-1.0),
+            dict(duration=0.0),
+            dict(goodput_floor=0.0),
+            dict(deadline_budget=0.0),
+            dict(drain_at=99.0),
+        ):
+            with pytest.raises(ValueError):
+                OverloadScenarioSpec(**bad)
+
+
+class _BusyScriptClient:
+    """Stub PortalClient: raises PortalBusyError ``busy_first`` times,
+    then answers get_version."""
+
+    def __init__(self, script):
+        self.script = script
+        self.closed = False
+
+    def get_version(self):
+        if self.script:
+            raise self.script.pop(0)
+        return 7
+
+    def close(self):
+        self.closed = True
+
+
+class TestResilienceBusyHandling:
+    """Satellite regression: shed/busy responses are not faults -- the
+    breaker must not flap, the connection must not be discarded, and the
+    backoff must honor the server's hint."""
+
+    def _client(self, script, **kwargs):
+        clock = StepClock()
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        stub = _BusyScriptClient(script)
+        counters = ResilienceCounters()
+        client = ResilientPortalClient(
+            "portal.test",
+            1,
+            retry=RetryPolicy(max_attempts=6, base_delay=0.2),
+            breaker=CircuitBreaker(failure_threshold=2, clock=clock),
+            clock=clock,
+            sleep=sleep,
+            rng=random.Random(42),
+            counters=counters,
+            client_factory=lambda *a, **k: stub,
+            **kwargs,
+        )
+        return client, stub, counters, sleeps, clock
+
+    def test_busy_storm_never_trips_the_breaker(self):
+        script = [PortalBusyError("shed", retry_after=0.05) for _ in range(4)]
+        client, stub, counters, sleeps, _ = self._client(script)
+        assert client.get_version() == 7
+        assert client.breaker.state is BreakerState.CLOSED
+        assert client.breaker.trip_count == 0
+        assert counters.busy_backoffs == 4
+        assert counters.retries == 0
+        # The connection was never discarded: one stub, never closed.
+        assert not stub.closed
+        # Backoff honors the hint, jittered into [0.5, 1.5] * hint.
+        assert len(sleeps) == 4
+        assert all(0.025 <= pause <= 0.075 for pause in sleeps)
+
+    def test_busy_without_hint_uses_the_retry_schedule(self):
+        script = [PortalBusyError("shed", retry_after=None)]
+        client, _, counters, sleeps, _ = self._client(script)
+        assert client.get_version() == 7
+        assert counters.busy_backoffs == 1
+        # The decorrelated-jitter draw is uniform in [0.2, 0.6]; the busy
+        # branch then jitters it multiplicatively in [0.5, 1.5].
+        assert 0.1 <= sleeps[0] <= 0.9
+
+    def test_busy_exhausting_attempts_propagates(self):
+        script = [PortalBusyError("shed", retry_after=0.01) for _ in range(9)]
+        client, _, counters, _, _ = self._client(script)
+        with pytest.raises(PortalBusyError):
+            client.get_version()
+        assert client.breaker.trip_count == 0
+
+    def test_counters_snapshot_includes_busy_backoffs(self):
+        counters = ResilienceCounters()
+        counters.busy_backoffs = 3
+        assert counters.snapshot()["busy_backoffs"] == 3

@@ -10,8 +10,11 @@ never of the transport, the worker model, or the view cache.
 Covered: every method in :data:`~repro.portal.protocol.METHOD_SCHEMAS`
 (full and restricted views, empty and unknown PID subsets), the error-
 frame contract (unknown methods, schema violations, non-object params,
-unknown keys), malformed trace envelopes, and ``get_state_delta``
-replication tailing across identical price-update sequences.
+unknown keys), malformed trace envelopes, ``get_state_delta``
+replication tailing across identical price-update sequences, and the
+overload envelopes (``deadline`` requests byte-invisible when they do
+not fire; ``busy`` shed frames identical across transports and inside
+the declared response-key catalog).
 
 Trace-envelope *propagation* (which needs real telemetry, whose metrics
 document is inherently run-dependent) is checked separately: both
@@ -213,6 +216,83 @@ class TestByteIdenticalResponses:
                 expected = exchange(reference.address, frames)
                 actual = exchange(candidate.address, frames)
                 assert expected == actual, f"divergence after update {step}"
+
+
+@pytest.mark.timeout(60)
+class TestOverloadEnvelopeConformance:
+    """The overload additions never perturb the legacy wire contract.
+
+    A ``deadline`` envelope that does not fire must be byte-invisible:
+    the response to a stamped request is identical to the bare request's
+    response, on every server kind.  Ill-typed deadline values are
+    tolerated exactly like malformed trace envelopes.  Busy frames (the
+    structured shed response) are part of the conformance surface too:
+    identical across transports and confined to the declared response
+    envelope catalog.
+    """
+
+    DEADLINE_VARIANTS = (60.0, "soon", -1, 0, True, None, [1.5])
+
+    @pytest.mark.parametrize("kind", [k for k in SERVER_KINDS if k != "threaded"])
+    def test_deadline_envelope_is_byte_invisible(self, kind):
+        bare = protocol.encode_frame({"method": "get_version", "params": {}})
+        stamped = [
+            protocol.encode_frame(
+                {"method": "get_version", "params": {}, "deadline": value}
+            )
+            for value in self.DEADLINE_VARIANTS
+        ]
+        with make_server("threaded", make_itracker()) as reference:
+            expected = exchange(reference.address, [bare] + stamped)
+        with make_server(kind, make_itracker()) as candidate:
+            actual = exchange(candidate.address, [bare] + stamped)
+        assert expected == actual
+        # The deadline key is consumed server-side, never echoed: every
+        # stamped response matches the bare response byte for byte.
+        for index, frame in enumerate(expected[1:]):
+            assert frame == expected[0], (
+                f"deadline variant {self.DEADLINE_VARIANTS[index]!r} "
+                f"changed the response bytes"
+            )
+
+    def test_attach_deadline_round_trips_through_the_budget_parser(self):
+        message = protocol.attach_deadline(
+            {"method": "get_version", "params": {}}, 1.5
+        )
+        assert set(message) <= protocol.REQUEST_ENVELOPE_KEYS
+        assert protocol.deadline_budget(message) == 1.5
+
+    @pytest.mark.parametrize("kind", SERVER_KINDS)
+    def test_every_response_stays_inside_the_envelope_catalog(self, kind):
+        pids = tuple(make_itracker().get_pdistances().pids)
+        frames = conformance_requests(pids)
+        with make_server(kind, make_itracker()) as server:
+            responses = exchange(server.address, frames)
+        for raw in responses:
+            keys = set(json.loads(raw[4:]))
+            assert keys <= protocol.RESPONSE_ENVELOPE_KEYS, keys
+
+    @pytest.mark.parametrize("kind", [k for k in SERVER_KINDS if k != "threaded"])
+    def test_busy_frames_match_across_transports(self, kind):
+        """A forced brownout sheds the expensive methods with the exact
+        same busy frame on every transport -- the shed path is part of
+        the conformance surface, not an implementation detail."""
+        frames = [
+            protocol.encode_frame({"method": "get_alto_networkmap", "params": {}}),
+            protocol.encode_frame({"method": "get_state_delta", "params": {}}),
+        ]
+        with make_server("threaded", make_itracker()) as reference:
+            reference.force_brownout(True)
+            expected = exchange(reference.address, frames)
+        with make_server(kind, make_itracker()) as candidate:
+            candidate.force_brownout(True)
+            actual = exchange(candidate.address, frames)
+        assert expected == actual
+        for raw in expected:
+            response = json.loads(raw[4:])
+            assert response["busy"] is True
+            assert response["retry_after"] > 0
+            assert set(response) <= protocol.RESPONSE_ENVELOPE_KEYS
 
 
 @pytest.mark.timeout(60)

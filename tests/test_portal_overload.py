@@ -1,0 +1,422 @@
+"""Socket-level tests for overload control on both portal transports.
+
+Admission shedding, deadline enforcement, brownout degradation,
+connection governance, graceful drain, and close-leak accounting, all
+against live servers over real sockets.  The pure state-machine tests
+live in ``tests/test_overload.py``.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.itracker import ITracker, ITrackerConfig, PriceMode
+from repro.core.pdistance import uniform_pid_map
+from repro.network.library import abilene
+from repro.observability import Telemetry
+from repro.portal import protocol
+from repro.portal.client import (
+    PortalBusyError,
+    PortalClient,
+    PortalDeadlineExceededError,
+)
+from repro.portal.overload import (
+    STATE_DRAINING,
+    OverloadConfig,
+    DEFAULT_BROWNOUT_METHODS,
+)
+from repro.portal.replication import graceful_handoff
+from repro.portal.server import PortalServer
+from repro.portal.aserver import AsyncPortalServer
+
+
+def make_itracker(
+    slow_views: float = 0.0, mode: PriceMode = PriceMode.HOP_COUNT
+) -> ITracker:
+    topo = abilene()
+
+    class SlowITracker(ITracker):
+        def get_pdistances(self, pids=None):
+            if slow_views:
+                time.sleep(slow_views)
+            return super().get_pdistances(pids=pids)
+
+    return SlowITracker(
+        topology=topo,
+        config=ITrackerConfig(mode=mode),
+        pid_map=uniform_pid_map(topo),
+    )
+
+
+def raw_request(address, message, sock=None):
+    """Send one frame, return (response, socket)."""
+    if sock is None:
+        sock = socket.create_connection(address, timeout=5.0)
+    sock.sendall(protocol.encode_frame(message))
+    return protocol.read_frame(sock), sock
+
+
+@pytest.mark.timeout(30)
+class TestThreadedAdmission:
+    def test_busy_frame_when_the_slot_wait_exceeds_the_bound(self):
+        config = OverloadConfig(
+            enabled=True,
+            inflight_budget=1,
+            queue_budget=4,
+            max_queue_delay=0.15,
+            retry_after=0.25,
+        )
+        telemetry = Telemetry()
+        with PortalServer(
+            make_itracker(slow_views=0.8), telemetry=telemetry, overload=config
+        ) as server:
+            slow_done = threading.Event()
+
+            def occupy_slot():
+                with PortalClient(*server.address) as slow:
+                    slow.get_pdistances()
+                slow_done.set()
+
+            occupier = threading.Thread(target=occupy_slot)
+            occupier.start()
+            time.sleep(0.2)  # let the slow request claim the single slot
+            with PortalClient(*server.address) as client:
+                with pytest.raises(PortalBusyError) as excinfo:
+                    client.get_version()
+            # The structured hint: shed-queue doubles the base hint.
+            assert excinfo.value.retry_after == pytest.approx(0.5)
+            slow_done.wait(timeout=5.0)
+            occupier.join(timeout=5.0)
+            registry = telemetry.registry
+            sheds = registry.counter(
+                "p4p_portal_admission_total", "", ("outcome",)
+            ).labels(outcome="shed_queue")
+            assert sheds.value >= 1
+
+    def test_admission_disabled_config_changes_nothing(self):
+        with PortalServer(make_itracker()) as server:
+            with PortalClient(*server.address) as client:
+                assert client.get_version() >= 0
+
+
+@pytest.mark.timeout(30)
+class TestDeadlines:
+    def test_server_abandons_work_past_its_deadline(self):
+        config = OverloadConfig(
+            enabled=True,
+            inflight_budget=1,
+            queue_budget=4,
+            max_queue_delay=1.0,
+        )
+        with PortalServer(
+            make_itracker(slow_views=0.6), overload=config
+        ) as server:
+
+            def occupy_slot():
+                with PortalClient(*server.address) as slow:
+                    slow.get_pdistances()
+
+            occupier = threading.Thread(target=occupy_slot)
+            occupier.start()
+            time.sleep(0.2)
+            # This request waits ~0.4s for the slot -- far past its own
+            # 50ms budget -- so dispatch must abandon it, not serve it.
+            with PortalClient(*server.address, deadline=0.05) as client:
+                with pytest.raises(PortalDeadlineExceededError):
+                    client.get_version()
+            occupier.join(timeout=5.0)
+
+    def test_deadline_met_serves_normally(self):
+        with PortalServer(
+            make_itracker(), overload=OverloadConfig(enabled=True)
+        ) as server:
+            with PortalClient(*server.address, deadline=5.0) as client:
+                assert client.get_version() >= 0
+
+    def test_frames_without_deadline_never_expire(self):
+        config = OverloadConfig(enabled=True, inflight_budget=1)
+        with PortalServer(make_itracker(), overload=config) as server:
+            response, sock = raw_request(
+                server.address, {"method": "get_version", "params": {}}
+            )
+            sock.close()
+            assert "result" in response and "deadline_exceeded" not in response
+
+
+@pytest.mark.timeout(30)
+class TestBrownout:
+    def _server(self, **itracker_kwargs):
+        return AsyncPortalServer(
+            make_itracker(**itracker_kwargs),
+            workers=1,
+            telemetry=Telemetry(),
+            overload=OverloadConfig(enabled=True),
+        )
+
+    def test_brownout_disables_expensive_methods_with_busy(self):
+        with self._server() as server:
+            with PortalClient(*server.address) as client:
+                client.get_pdistances()  # publish a snapshot to go stale on
+                server.force_brownout(True)
+                for method in sorted(DEFAULT_BROWNOUT_METHODS):
+                    response, sock = raw_request(
+                        server.address, {"method": method, "params": {}}
+                    )
+                    sock.close()
+                    assert response.get("busy") is True, method
+                    assert response["retry_after"] > 0
+
+    def test_brownout_serves_stale_views_marked_degraded(self):
+        with self._server(mode=PriceMode.DYNAMIC) as server:
+            with PortalClient(*server.address) as client:
+                fresh = client.get_pdistances()
+                server.force_brownout(True)
+                # Advance the price state: the published snapshot is now
+                # stale, and brownout serves it anyway -- no re-aggregation.
+                assert server.itracker.observe_loads(
+                    {("WASH", "NYCM"): 4000.0}
+                )
+                response, sock = raw_request(
+                    server.address, {"method": "get_pdistances", "params": {}}
+                )
+                sock.close()
+                assert response["degraded"] == "brownout"
+                stale = protocol.pdistance_from_wire(response["result"])
+                assert stale.pids == fresh.pids
+                # Metrics stay served during brownout (operators need
+                # them most mid-incident), degradation-marked.
+                metrics, sock = raw_request(
+                    server.address, {"method": "get_metrics", "params": {}}
+                )
+                sock.close()
+                assert "result" in metrics
+                assert metrics["degraded"] == "brownout"
+                server.force_brownout(None)
+
+    def test_brownout_exit_restores_fresh_serving(self):
+        with self._server() as server:
+            with PortalClient(*server.address) as client:
+                client.get_pdistances()
+                server.force_brownout(True)
+                server.force_brownout(False)
+                response, sock = raw_request(
+                    server.address, {"method": "get_version", "params": {}}
+                )
+                sock.close()
+                assert "degraded" not in response
+
+
+@pytest.mark.timeout(30)
+class TestConnectionGovernance:
+    def test_connection_cap_rejects_with_busy_frame(self):
+        config = OverloadConfig(enabled=True, max_connections=1, retry_after=0.3)
+        telemetry = Telemetry()
+        with AsyncPortalServer(
+            make_itracker(), workers=1, telemetry=telemetry, overload=config
+        ) as server:
+            first = socket.create_connection(server.address, timeout=5.0)
+            response, _ = raw_request(
+                server.address, {"method": "get_version", "params": {}}, sock=first
+            )
+            assert "result" in response
+            # Second connection: one busy frame, then severed.
+            second = socket.create_connection(server.address, timeout=5.0)
+            rejected = protocol.read_frame(second)
+            assert rejected["busy"] is True
+            assert protocol.read_frame(second) is None  # EOF
+            second.close()
+            first.close()
+            rejects = telemetry.registry.counter(
+                "p4p_portal_connection_rejects_total", "", ("kind",)
+            ).labels(kind="cap")
+            assert rejects.value == 1
+
+    def test_idle_connections_are_severed(self):
+        config = OverloadConfig(enabled=True, idle_timeout=0.2)
+        telemetry = Telemetry()
+        with AsyncPortalServer(
+            make_itracker(), workers=1, telemetry=telemetry, overload=config
+        ) as server:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            # Never send anything: the governor reaps the idle connection.
+            assert protocol.read_frame(sock) is None
+            sock.close()
+            rejects = telemetry.registry.counter(
+                "p4p_portal_connection_rejects_total", "", ("kind",)
+            ).labels(kind="idle")
+            assert rejects.value == 1
+
+    def test_slow_reader_is_severed(self):
+        config = OverloadConfig(enabled=True, frame_timeout=0.2)
+        telemetry = Telemetry()
+        with AsyncPortalServer(
+            make_itracker(), workers=1, telemetry=telemetry, overload=config
+        ) as server:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            frame = protocol.encode_frame({"method": "get_version", "params": {}})
+            sock.sendall(frame[:3])  # start a frame, then stall (slowloris)
+            assert sock.recv(1) == b""  # severed without a response
+            sock.close()
+            rejects = telemetry.registry.counter(
+                "p4p_portal_connection_rejects_total", "", ("kind",)
+            ).labels(kind="slow_reader")
+            assert rejects.value == 1
+
+    def test_request_budget_recycles_the_connection(self):
+        config = OverloadConfig(enabled=True, connection_request_budget=2)
+        with AsyncPortalServer(
+            make_itracker(), workers=1, overload=config
+        ) as server:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            message = {"method": "get_version", "params": {}}
+            sock.sendall(protocol.encode_frame(message) * 3)
+            assert "result" in protocol.read_frame(sock)
+            assert "result" in protocol.read_frame(sock)
+            # The third pipelined request falls past the budget: EOF.
+            assert protocol.read_frame(sock) is None
+            sock.close()
+
+    def test_threaded_governance_timeouts(self):
+        config = OverloadConfig(enabled=True, idle_timeout=0.2)
+        with PortalServer(make_itracker(), overload=config) as server:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            assert protocol.read_frame(sock) is None
+            sock.close()
+
+
+@pytest.mark.timeout(30)
+class TestDrain:
+    def test_async_drain_stops_accepting_and_sheds_inflight(self):
+        telemetry = Telemetry()
+        with AsyncPortalServer(
+            make_itracker(),
+            workers=1,
+            telemetry=telemetry,
+            overload=OverloadConfig(enabled=True),
+        ) as server:
+            established = socket.create_connection(server.address, timeout=5.0)
+            # One served request makes the connection *established* at the
+            # application layer (a handshake still in the kernel backlog is
+            # legitimately reset when the listener closes).
+            warm, _ = raw_request(
+                server.address,
+                {"method": "get_version", "params": {}},
+                sock=established,
+            )
+            assert "result" in warm
+            assert server.drain(timeout=2.0) is True
+            assert server.overload.state() == STATE_DRAINING
+            # New connections are refused: the listeners are closed.
+            with pytest.raises(OSError):
+                socket.create_connection(server.address, timeout=0.5)
+            # Established connections get a busy frame with a reconnect
+            # hint spanning the drain bound.
+            response, _ = raw_request(
+                server.address,
+                {"method": "get_version", "params": {}},
+                sock=established,
+            )
+            assert response["busy"] is True
+            assert response["retry_after"] >= 0.5
+            established.close()
+            gauge = telemetry.registry.gauge("p4p_overload_state").labels()
+            assert gauge.value == STATE_DRAINING
+
+    def test_threaded_drain_returns_true_on_empty_backlog(self):
+        with PortalServer(
+            make_itracker(), overload=OverloadConfig(enabled=True)
+        ) as server:
+            assert server.drain(timeout=2.0) is True
+            with pytest.raises(OSError):
+                socket.create_connection(server.address, timeout=0.5)
+
+    def test_drain_works_with_overload_disabled(self):
+        # Drain must shed even on servers that never enabled admission
+        # control -- the failover path cannot depend on an opt-in flag.
+        with AsyncPortalServer(make_itracker(), workers=1) as server:
+            established = socket.create_connection(server.address, timeout=5.0)
+            warm, _ = raw_request(
+                server.address,
+                {"method": "get_version", "params": {}},
+                sock=established,
+            )
+            assert "result" in warm
+            assert server.drain(timeout=2.0) is True
+            response, _ = raw_request(
+                server.address,
+                {"method": "get_version", "params": {}},
+                sock=established,
+            )
+            assert response["busy"] is True
+            established.close()
+
+
+@pytest.mark.timeout(30)
+class TestCloseLeakAccounting:
+    def test_leaked_worker_is_logged_and_counted(self, caplog):
+        telemetry = Telemetry()
+        server = AsyncPortalServer(
+            make_itracker(), workers=1, telemetry=telemetry
+        )
+        worker = server._workers[0]
+        real_stop = worker.stop
+        worker.stop = lambda: None  # the worker never hears the shutdown
+        try:
+            with caplog.at_level("WARNING", logger="repro.portal.aserver"):
+                server.close(join_timeout=0.2)
+            leaks = telemetry.registry.counter(
+                "p4p_server_close_leaks_total", "", ("kind",)
+            ).labels(kind="worker")
+            assert leaks.value == 1
+            assert any(
+                "still alive" in record.message for record in caplog.records
+            )
+        finally:
+            real_stop()
+            worker.thread.join(timeout=5.0)
+
+    def test_clean_close_counts_no_leaks(self):
+        telemetry = Telemetry()
+        server = AsyncPortalServer(
+            make_itracker(), workers=2, telemetry=telemetry
+        )
+        server.close()
+        leaks = telemetry.registry.counter(
+            "p4p_server_close_leaks_total", "", ("kind",)
+        )
+        assert leaks.labels(kind="worker").value == 0
+        assert leaks.labels(kind="acceptor").value == 0
+
+
+class _HandoffRecorder:
+    def __init__(self, drained=True):
+        self.calls = []
+        self._drained = drained
+
+    def sync(self):
+        self.calls.append("sync")
+
+    def drain(self, timeout=None):
+        self.calls.append("drain")
+        return self._drained
+
+    def close(self):
+        self.calls.append("close")
+
+
+class TestGracefulHandoff:
+    def test_handoff_syncs_then_drains_then_closes(self):
+        primary = _HandoffRecorder()
+        replica = _HandoffRecorder()
+        assert graceful_handoff(primary, replica) is True
+        assert replica.calls[0] == "sync"
+        assert primary.calls == ["drain", "close"]
+        assert replica.calls[-1] == "close"
+
+    def test_handoff_reports_incomplete_drain(self):
+        primary = _HandoffRecorder(drained=False)
+        replica = _HandoffRecorder()
+        assert graceful_handoff(primary, replica) is False
+        assert primary.calls == ["drain", "close"]
